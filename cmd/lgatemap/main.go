@@ -1,0 +1,76 @@
+// Command lgatemap emits the systematic Lgate variation map of the
+// paper's Fig. 2: the second-order polynomial model over a 14mm chip,
+// scaled to +/-5.5% deviations, as CSV (for plotting) or as an ASCII
+// heat map.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vipipe/internal/variation"
+)
+
+func main() {
+	n := flag.Int("n", 28, "grid resolution (cells per chip edge)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII map")
+	flag.Parse()
+
+	m := variation.Default()
+	grid := m.MapGrid(*n)
+
+	if *csv {
+		fmt.Printf("x_mm,y_mm,lgate_dev_frac,lgate_nm\n")
+		for j := range grid {
+			y := float64(j) / float64(*n-1) * m.ChipMM
+			for i := range grid[j] {
+				x := float64(i) / float64(*n-1) * m.ChipMM
+				fmt.Printf("%.3f,%.3f,%.5f,%.3f\n", x, y, grid[j][i], m.LnomNM*(1+grid[j][i]))
+			}
+		}
+		return
+	}
+
+	fmt.Printf("Systematic Lgate deviation over a %.0fmm x %.0fmm chip (Fig. 2)\n", m.ChipMM, m.ChipMM)
+	fmt.Printf("nominal %.0fnm, range %+.1f%% (slow, lower-left) to %+.1f%%\n\n",
+		m.LnomNM, 100*grid[0][0], 100*grid[*n-1][*n-1])
+	// Rows printed top-down so the lower-left corner (point A) lands
+	// at the bottom-left, as in the paper's figure.
+	shades := []byte(" .:-=+*#%@")
+	for j := *n - 1; j >= 0; j-- {
+		fmt.Printf("%5.1fmm |", float64(j)/float64(*n-1)*m.ChipMM)
+		for i := range grid[j] {
+			// Map [-SysFrac, +SysFrac] to shade index.
+			t := (grid[j][i]/m.SysFrac + 1) / 2
+			k := int(t * float64(len(shades)-1))
+			if k < 0 {
+				k = 0
+			}
+			if k >= len(shades) {
+				k = len(shades) - 1
+			}
+			fmt.Printf("%c%c", shades[k], shades[k])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("        ")
+	for _, p := range m.DiagonalPositions() {
+		fmt.Printf(" %s=(%.1f,%.1f)mm", p.Name, p.XMM, p.YMM)
+	}
+	fmt.Println()
+	if err := checkMonotone(grid); err != nil {
+		fmt.Fprintln(os.Stderr, "warning:", err)
+	}
+}
+
+// checkMonotone verifies the diagonal gradient the scenarios rely on.
+func checkMonotone(grid [][]float64) error {
+	n := len(grid)
+	for k := 1; k < n; k++ {
+		if grid[k][k] >= grid[k-1][k-1] {
+			return fmt.Errorf("diagonal not monotone at %d", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Command mcsta runs the Monte Carlo statistical static timing
+// analysis of the paper's Section 4.3: it builds and places the VEX
+// core, characterizes the per-stage critical-path slack distributions
+// at the chip positions A-D, renders the Fig. 3 histograms, and prints
+// the violation-scenario classification of Section 4.4 together with
+// the Razor sensor plan.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"vipipe"
+	"vipipe/internal/mc"
+	"vipipe/internal/netlist"
+	"vipipe/internal/stats"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the reduced test core instead of the full 32-bit 4-slot core")
+	samples := flag.Int("samples", 0, "Monte Carlo samples (0 = config default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := vipipe.DefaultConfig()
+	if *small {
+		cfg = vipipe.TestConfig()
+	}
+	if *samples > 0 {
+		cfg.MCSamples = *samples
+	}
+	cfg.Seed = *seed
+
+	f := vipipe.New(cfg)
+	if err := f.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("core: %d cells, clock %.0fps (%.1f MHz)\n\n",
+		f.NL.NumCells(), f.ClockPS, f.FmaxMHz)
+
+	for _, pos := range cfg.Model.DiagonalPositions() {
+		res := f.MC[pos.Name]
+		sc, stages := res.Classify(0)
+		fmt.Printf("== position %s (%.1f, %.1f)mm: scenario %d, violating %v\n",
+			pos.Name, pos.XMM, pos.YMM, sc, stages)
+		for _, st := range mc.PipelineStages {
+			d := res.PerStage[st]
+			if d == nil {
+				continue
+			}
+			fmt.Printf("  %-10v slack mu=%8.1fps sigma=%6.1fps  P(viol)=%.4g  chi2 p=%.3f (normal fit %s)\n",
+				st, d.Fit.Mu, d.Fit.Sigma, d.ViolProb, d.GOF.PValue, accepted(d.GOF.Accepted))
+		}
+		fmt.Println()
+	}
+
+	// Fig. 3: slack histograms at the worst-case position A.
+	resA := f.MC["A"]
+	fmt.Println("Fig. 3 — critical-path slack distributions at point A (ns):")
+	for _, st := range mc.PipelineStages {
+		d := resA.PerStage[st]
+		lo := stats.Percentile(d.SlackPS, 0) - 1
+		hi := stats.Percentile(d.SlackPS, 100) + 1
+		h := stats.NewHistogram(lo/1000, hi/1000, 18)
+		for _, s := range d.SlackPS {
+			h.Add(s / 1000)
+		}
+		fmt.Printf("--- %v\n%s", st, h.Render(46))
+	}
+
+	// Razor plan (Section 4.4).
+	plan, err := f.SensorPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRazor sensor plan (budget %d per stage): %d sensors, +%.0f um2\n",
+		cfg.SensorBudget, plan.NumSensors(), plan.AreaOverheadUM2(f.Lib))
+	for _, st := range []netlist.Stage{netlist.StageDecode, netlist.StageExecute, netlist.StageWriteback} {
+		fmt.Printf("  %-10v %d sensors\n", st, len(plan.ByStage[st]))
+	}
+}
+
+func accepted(ok bool) string {
+	if ok {
+		return "accepted"
+	}
+	return "rejected"
+}

@@ -1,0 +1,119 @@
+// Command netio exercises the paper's tool-interchange step: it builds
+// and places the core, writes the placement as DEF and the nominal
+// delays as SDF, then performs the paper's variability-injection round
+// trip (Section 4.3: "we developed a parser of the sdf file that
+// checks the cell position within the chip, computes effective gate
+// length in that location and modifies its delay accordingly; the sdf
+// file with altered gate delays can then be re-imported ... for static
+// timing analysis"): delays are scaled by the systematic variation at
+// a chosen chip position, re-parsed, and re-timed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vipipe"
+	"vipipe/internal/def"
+	"vipipe/internal/sdf"
+	"vipipe/internal/sta"
+	"vipipe/internal/verilog"
+)
+
+func main() {
+	small := flag.Bool("small", true, "use the reduced test core")
+	sdfPath := flag.String("sdf", "", "write nominal delays as SDF to this path")
+	vPath := flag.String("verilog", "", "write the netlist as structural Verilog to this path")
+	defPath := flag.String("def", "", "write the placement as DEF to this path")
+	inject := flag.String("inject", "A", "chip position (A-D) for the variability-injection round trip")
+	flag.Parse()
+
+	cfg := vipipe.TestConfig()
+	if !*small {
+		cfg = vipipe.DefaultConfig()
+	}
+	f := vipipe.New(cfg)
+	for _, step := range []func() error{f.Synthesize, f.Place, f.Analyze} {
+		if err := step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("core: %d cells, nominal fmax %.1f MHz\n", f.NL.NumCells(), f.FmaxMHz)
+
+	if *vPath != "" {
+		w, err := os.Create(*vPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verilog.Write(w, f.NL); err != nil {
+			log.Fatal(err)
+		}
+		w.Close()
+		fmt.Printf("wrote structural Verilog: %s\n", *vPath)
+	}
+
+	if *defPath != "" {
+		w, err := os.Create(*defPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := def.Write(w, f.PL); err != nil {
+			log.Fatal(err)
+		}
+		w.Close()
+		fmt.Printf("wrote placement DEF: %s\n", *defPath)
+	}
+
+	// Nominal SDF.
+	delays := make([]float64, f.NL.NumCells())
+	for i := range delays {
+		delays[i] = f.STA.BaseDelay(i)
+	}
+	if *sdfPath != "" {
+		w, err := os.Create(*sdfPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sdf.Write(w, f.NL, delays); err != nil {
+			log.Fatal(err)
+		}
+		w.Close()
+		fmt.Printf("wrote nominal SDF: %s\n", *sdfPath)
+	}
+
+	// Variability injection: scale delays by the position's
+	// systematic Lgate map, write, re-parse, re-time.
+	pos := f.Position(*inject)
+	lg := f.SystematicLgate(pos)
+	tech := &f.NL.Lib.Tech
+	injected := make([]float64, len(delays))
+	for i := range delays {
+		injected[i] = delays[i] * tech.DelayScale(tech.VddLow, lg[i])
+	}
+	tmp, err := os.CreateTemp("", "vipipe-*.sdf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := sdf.Write(tmp, f.NL, injected); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := sdf.Parse(tmp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tmp.Close()
+	scales, err := parsed.Scales(f.NL, f.STA.BaseDelay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := f.STA.Run(f.ClockPS, scales)
+	fmt.Printf("after SDF round trip at position %s: critical path %.0f ps (%.1f MHz), slack %.0f ps\n",
+		pos.Name, rep.CritPS, sta.FmaxMHz(rep.CritPS), rep.WorstSlack)
+	fmt.Printf("systematic-only degradation vs nominal: %.2f%%\n", 100*(rep.CritPS/(f.ClockPS/(1+cfg.ClockGuard))-1))
+}

@@ -1,0 +1,138 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech bundles the technology parameters driving the paper's
+// analytical delay and leakage models.
+type Tech struct {
+	VddLow  float64 // nominal supply, volts (1.0 in the paper)
+	VddHigh float64 // boosted supply, volts (1.2 in the paper)
+	Vth0    float64 // long-channel threshold voltage (0.22V, paper Eq. 4)
+	Alpha   float64 // velocity-saturation exponent (1.3, paper Eq. 3)
+	// AlphaDIBL is the DIBL coefficient of paper Eq. 4; Leff is
+	// expressed in nanometers. With the paper's constants the DIBL
+	// correction is a small second-order effect, as the paper notes.
+	AlphaDIBL float64
+	LgateNM   float64 // nominal effective gate length, nm (65)
+
+	SubthermalV float64 // n*vT subthreshold slope factor for leakage, volts
+
+	// Wire model (variation in wires is ignored, as in the paper).
+	WireCapFFPerUM   float64 // net capacitance per unit HPWL
+	WireDelayPSPerUM float64 // repeatered-wire delay per unit HPWL
+
+	RowHeightUM float64 // standard-cell row height
+	SiteWidthUM float64 // placement site width
+}
+
+// DefaultTech returns the 65nm technology parameters from the paper,
+// with one calibration: Vth0 is raised from the paper's quoted
+// long-channel 0.22V to 0.42V, the threshold of a low-power 65nm
+// library at a 1.0V supply. With 0.22V the alpha-power model yields
+// only a ~11% speed-up from the 1.0V->1.2V boost — not enough to
+// compensate the >=10% worst-case degradation with a partial-coverage
+// voltage island, which the paper's Fig. 4 islands plainly do; an LP
+// threshold gives the ~18% boost their results imply (see DESIGN.md).
+func DefaultTech() Tech {
+	return Tech{
+		VddLow:           1.0,
+		VddHigh:          1.2,
+		Vth0:             0.42,
+		Alpha:            1.3,
+		AlphaDIBL:        0.15,
+		LgateNM:          65,
+		SubthermalV:      0.035,
+		WireCapFFPerUM:   0.20,
+		WireDelayPSPerUM: 0.05,
+		RowHeightUM:      1.8,
+		SiteWidthUM:      0.26,
+	}
+}
+
+// Vdd returns the supply voltage of a domain.
+func (t *Tech) Vdd(d Domain) float64 {
+	if d == DomainHigh {
+		return t.VddHigh
+	}
+	return t.VddLow
+}
+
+// VthEff computes the effective threshold voltage at supply vdd and
+// effective gate length lgateNM (nanometers) per paper Eq. 4:
+//
+//	VthEff = Vth0 - Vdd * exp(-alphaDIBL * Leff)
+//
+// A longer channel raises Vth; a higher Vdd lowers it slightly (DIBL).
+func (t *Tech) VthEff(vdd, lgateNM float64) float64 {
+	return t.Vth0 - vdd*math.Exp(-t.AlphaDIBL*lgateNM)
+}
+
+// alphaPower returns the un-normalized alpha-power delay factor
+// Vdd/(Vdd-Vth)^alpha of paper Eq. 3 at the given operating point.
+func (t *Tech) alphaPower(vdd, lgateNM float64) float64 {
+	vth := t.VthEff(vdd, lgateNM)
+	ov := vdd - vth
+	if ov <= 0.01 {
+		ov = 0.01 // guard: the device barely conducts
+	}
+	return vdd / math.Pow(ov, t.Alpha)
+}
+
+// DelayScale returns the multiplicative delay factor of a gate
+// operating at supply vdd with effective gate length lgateNM, relative
+// to the library characterization point (VddLow, nominal Lgate):
+//
+//	scale = (L/Lnom)^1.5 * AP(vdd, L) / AP(VddLow, Lnom)
+//
+// This is paper Eq. 3 normalized to the nominal corner, i.e. exactly
+// the transformation the paper's SDF-rewriting parser applies.
+func (t *Tech) DelayScale(vdd, lgateNM float64) float64 {
+	lr := lgateNM / t.LgateNM
+	return math.Pow(lr, 1.5) * t.alphaPower(vdd, lgateNM) / t.alphaPower(t.VddLow, t.LgateNM)
+}
+
+// SpeedupHighVdd returns the delay ratio D(VddHigh)/D(VddLow) at
+// nominal gate length: the performance boost bought by switching a
+// cell to the high-Vdd domain.
+func (t *Tech) SpeedupHighVdd() float64 {
+	return t.DelayScale(t.VddHigh, t.LgateNM)
+}
+
+// LeakScale returns the multiplicative subthreshold leakage factor for
+// a device with effective gate length lgateNM relative to nominal, at
+// supply vdd: leakage grows exponentially as Vth drops with channel
+// length (paper Section 4.1: shorter Lgate lowers Vth, raising
+// leakage).
+func (t *Tech) LeakScale(vdd, lgateNM float64) float64 {
+	dvth := t.VthEff(vdd, lgateNM) - t.VthEff(vdd, t.LgateNM)
+	return math.Exp(-dvth / t.SubthermalV)
+}
+
+// EnergyScale returns the dynamic-energy factor (Vdd/VddLow)^2 for a
+// domain, since switching energy is C*Vdd^2.
+func (t *Tech) EnergyScale(d Domain) float64 {
+	r := t.Vdd(d) / t.VddLow
+	return r * r
+}
+
+// Validate checks the parameter set for physical sanity.
+func (t *Tech) Validate() error {
+	switch {
+	case t.VddLow <= 0 || t.VddHigh <= t.VddLow:
+		return fmt.Errorf("cell: supplies must satisfy 0 < VddLow < VddHigh, got %g/%g", t.VddLow, t.VddHigh)
+	case t.Vth0 <= 0 || t.Vth0 >= t.VddLow:
+		return fmt.Errorf("cell: Vth0 %g out of range (0, VddLow)", t.Vth0)
+	case t.Alpha < 1 || t.Alpha > 2:
+		return fmt.Errorf("cell: alpha %g out of velocity-saturation range [1,2]", t.Alpha)
+	case t.LgateNM <= 0:
+		return fmt.Errorf("cell: nominal Lgate %g must be positive", t.LgateNM)
+	case t.SubthermalV <= 0:
+		return fmt.Errorf("cell: subthreshold slope %g must be positive", t.SubthermalV)
+	case t.RowHeightUM <= 0 || t.SiteWidthUM <= 0:
+		return fmt.Errorf("cell: row geometry must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package density implements transition-density propagation (Najm,
+// "Transition density: a new measure of activity in digital circuits"),
+// the classic probabilistic activity estimator. The cycle-based
+// simulator in internal/gsim cannot see glitches — intermediate
+// transitions inside a clock cycle — which dominate the power of deep
+// multiplexer networks like the register-file read trees. Transition
+// density captures them analytically: the density of a gate output is
+// the sum over inputs of the probability of the input's Boolean
+// difference times the input's density,
+//
+//	D(y) = sum_i P(dF/dx_i) * D(x_i)
+//
+// computed in topological order under an input-independence
+// assumption. Signal probabilities propagate through the same
+// enumeration. Sequential cells and primary inputs are seeds supplied
+// by the caller (typically from a gate-level simulation, so the
+// sequential behavior stays exact and only combinational glitching is
+// re-estimated).
+package density
+
+import (
+	"fmt"
+
+	"vipipe/internal/netlist"
+)
+
+// Result carries per-net signal probabilities and transition
+// densities (transitions per clock cycle).
+type Result struct {
+	Prob    []float64
+	Density []float64
+}
+
+// Propagate computes signal probability and transition density for
+// every combinational net. seedProb and seedDensity must hold values
+// for primary-input nets and sequential-cell output nets (all other
+// entries are overwritten); both are indexed by net ID. Tie cells
+// propagate as constants (probability 0/1, density 0).
+func Propagate(nl *netlist.Netlist, seedProb, seedDensity []float64) (*Result, error) {
+	if len(seedProb) != nl.NumNets() || len(seedDensity) != nl.NumNets() {
+		return nil, fmt.Errorf("density: seeds cover %d/%d nets, want %d",
+			len(seedProb), len(seedDensity), nl.NumNets())
+	}
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, fmt.Errorf("density: %w", err)
+	}
+	res := &Result{
+		Prob:    append([]float64(nil), seedProb...),
+		Density: append([]float64(nil), seedDensity...),
+	}
+	for _, i := range order {
+		inst := &nl.Insts[i]
+		c := nl.Cell(i)
+		out := inst.Out
+		if c.IsTie() {
+			if c.Eval(nil) {
+				res.Prob[out] = 1
+			} else {
+				res.Prob[out] = 0
+			}
+			res.Density[out] = 0
+			continue
+		}
+		n := len(inst.Inputs)
+		// Enumerate all input combinations once; reuse for both the
+		// signal probability and every Boolean difference.
+		var in [8]bool
+		pOut := 0.0
+		dOut := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w := 1.0
+			for k := 0; k < n; k++ {
+				in[k] = mask>>k&1 == 1
+				p := res.Prob[inst.Inputs[k]]
+				if in[k] {
+					w *= p
+				} else {
+					w *= 1 - p
+				}
+			}
+			if w == 0 {
+				continue
+			}
+			if c.Eval(in[:n]) {
+				pOut += w
+			}
+		}
+		// Boolean difference per input: P(f flips when x_k flips),
+		// weighted over the other inputs only.
+		for k := 0; k < n; k++ {
+			dk := res.Density[inst.Inputs[k]]
+			if dk == 0 {
+				continue
+			}
+			pd := 0.0
+			for mask := 0; mask < 1<<n; mask++ {
+				if mask>>k&1 == 1 {
+					continue // enumerate others; x_k handled explicitly
+				}
+				w := 1.0
+				for j := 0; j < n; j++ {
+					if j == k {
+						continue
+					}
+					in[j] = mask>>j&1 == 1
+					p := res.Prob[inst.Inputs[j]]
+					if in[j] {
+						w *= p
+					} else {
+						w *= 1 - p
+					}
+				}
+				if w == 0 {
+					continue
+				}
+				in[k] = false
+				f0 := c.Eval(in[:n])
+				in[k] = true
+				f1 := c.Eval(in[:n])
+				if f0 != f1 {
+					pd += w
+				}
+			}
+			dOut += pd * dk
+		}
+		res.Prob[out] = pOut
+		res.Density[out] = dOut
+	}
+	return res, nil
+}
+
+// SeedsFromSimulation derives propagation seeds from a gate-level
+// simulation: primary inputs and sequential outputs take their
+// simulated toggle rates; signal probabilities default to 0.5 for
+// those seeds (the simulator does not record duty cycles).
+// Combinational entries are zeroed and filled in by Propagate.
+func SeedsFromSimulation(nl *netlist.Netlist, activity []float64) (prob, dens []float64, err error) {
+	if len(activity) != nl.NumNets() {
+		return nil, nil, fmt.Errorf("density: activity covers %d nets, want %d", len(activity), nl.NumNets())
+	}
+	prob = make([]float64, nl.NumNets())
+	dens = make([]float64, nl.NumNets())
+	seed := func(n int) {
+		prob[n] = 0.5
+		dens[n] = activity[n]
+	}
+	for _, n := range nl.PIs {
+		seed(n)
+	}
+	for i := range nl.Insts {
+		if nl.IsSequential(i) {
+			seed(nl.Insts[i].Out)
+		}
+	}
+	return prob, dens, nil
+}
+
+// GlitchAwareActivity returns a per-net activity vector whose
+// combinational entries come from transition-density propagation while
+// sequential and primary-input entries keep their simulated values:
+// a drop-in replacement for power.Inputs.Activity that includes an
+// estimate of glitch power.
+func GlitchAwareActivity(nl *netlist.Netlist, simActivity []float64) ([]float64, error) {
+	prob, dens, err := SeedsFromSimulation(nl, simActivity)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Propagate(nl, prob, dens)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]float64(nil), res.Density...)
+	for _, n := range nl.PIs {
+		out[n] = simActivity[n]
+	}
+	for i := range nl.Insts {
+		if nl.IsSequential(i) {
+			out[nl.Insts[i].Out] = simActivity[nl.Insts[i].Out]
+		}
+	}
+	return out, nil
+}

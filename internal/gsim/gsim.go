@@ -1,0 +1,164 @@
+// Package gsim is a deterministic cycle-based gate-level logic
+// simulator. It substitutes for the paper's Modelsim simulation step:
+// it executes a netlist cycle by cycle and records per-net toggle
+// counts, which the power analysis back-annotates as switching
+// activity (the paper's "HDL simulation with switching activity
+// back-annotation").
+//
+// The simulator is zero-delay and two-phase: at every cycle all
+// combinational logic is evaluated in topological order from the
+// current primary inputs and flip-flop outputs, then all flip-flops
+// capture their D inputs simultaneously. Glitch power is therefore not
+// modeled, matching the usual cycle-accurate activity-estimation
+// methodology.
+package gsim
+
+import (
+	"fmt"
+
+	"vipipe/internal/netlist"
+)
+
+// Simulator holds the evaluation state of one netlist.
+type Simulator struct {
+	nl    *netlist.Netlist
+	order []int  // topological order of combinational instances
+	vals  []bool // current value per net
+	seqs  []int  // flip-flop instance IDs
+	state []bool // captured Q value per entry of seqs
+
+	toggles []uint64 // per-net toggle count
+	prev    []bool   // net values at the end of the previous Step
+	cycles  uint64
+	primed  bool // first Step establishes the reference values
+}
+
+// New builds a simulator for nl. All state starts at logic 0.
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	order, err := nl.Levelize()
+	if err != nil {
+		return nil, fmt.Errorf("gsim: %w", err)
+	}
+	return &Simulator{
+		nl:      nl,
+		order:   order,
+		vals:    make([]bool, nl.NumNets()),
+		seqs:    nl.Sequentials(),
+		state:   make([]bool, len(nl.Sequentials())),
+		toggles: make([]uint64, nl.NumNets()),
+		prev:    make([]bool, nl.NumNets()),
+	}, nil
+}
+
+// Reset clears all flip-flop state, net values and activity counters.
+func (s *Simulator) Reset() {
+	for i := range s.vals {
+		s.vals[i] = false
+	}
+	for i := range s.state {
+		s.state[i] = false
+	}
+	for i := range s.toggles {
+		s.toggles[i] = 0
+		s.prev[i] = false
+	}
+	s.cycles = 0
+	s.primed = false
+}
+
+// SetPI drives a primary-input net for the next Step.
+func (s *Simulator) SetPI(net int, v bool) { s.vals[net] = v }
+
+// SetPIWord drives a primary-input bus with the low bits of v.
+func (s *Simulator) SetPIWord(w netlist.Word, v uint64) {
+	for i, n := range w {
+		s.vals[n] = v>>uint(i)&1 == 1
+	}
+}
+
+// Val returns the current value of a net (valid after Step or Eval).
+func (s *Simulator) Val(net int) bool { return s.vals[net] }
+
+// Word reads a bus as an unsigned integer.
+func (s *Simulator) Word(w netlist.Word) uint64 {
+	var v uint64
+	for i, n := range w {
+		if s.vals[n] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Eval propagates the current primary inputs and flip-flop outputs
+// through the combinational logic without clocking the flops. Toggle
+// counters are not advanced. It is the combinational-settling step
+// used both by Step and by purely combinational testbenches.
+func (s *Simulator) Eval() {
+	nl := s.nl
+	// Flop outputs present their captured state.
+	for k, id := range s.seqs {
+		s.vals[nl.Insts[id].Out] = s.state[k]
+	}
+	var inBuf [8]bool
+	for _, id := range s.order {
+		inst := &nl.Insts[id]
+		in := inBuf[:len(inst.Inputs)]
+		for p, netID := range inst.Inputs {
+			in[p] = s.vals[netID]
+		}
+		s.vals[inst.Out] = nl.Cell(id).Eval(in)
+	}
+}
+
+// Step runs one clock cycle: settle combinational logic, record
+// toggles against the previous cycle's values, then clock all
+// flip-flops. Drive primary inputs with SetPI before calling.
+func (s *Simulator) Step() {
+	s.Eval()
+	if s.primed {
+		for i, v := range s.vals {
+			if v != s.prev[i] {
+				s.toggles[i]++
+			}
+		}
+	}
+	copy(s.prev, s.vals)
+	s.primed = true
+	s.cycles++
+	// Capture D inputs.
+	for k, id := range s.seqs {
+		s.state[k] = s.vals[s.nl.Insts[id].Inputs[0]]
+	}
+}
+
+// Run applies each vector (a PI-driving callback) for one cycle.
+func (s *Simulator) Run(cycles int, drive func(cycle int, s *Simulator)) {
+	for c := 0; c < cycles; c++ {
+		if drive != nil {
+			drive(c, s)
+		}
+		s.Step()
+	}
+}
+
+// Cycles returns the number of Steps executed since the last Reset.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// Toggles returns the toggle count of a net.
+func (s *Simulator) Toggles(net int) uint64 { return s.toggles[net] }
+
+// Activity returns the per-cycle toggle rate of every net: the
+// switching-activity vector consumed by the power model. Rates are
+// relative to the number of completed cycle transitions (cycles-1).
+func (s *Simulator) Activity() []float64 {
+	act := make([]float64, len(s.toggles))
+	if s.cycles < 2 {
+		return act
+	}
+	denom := float64(s.cycles - 1)
+	for i, t := range s.toggles {
+		act[i] = float64(t) / denom
+	}
+	return act
+}

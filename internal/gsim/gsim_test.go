@@ -1,0 +1,265 @@
+package gsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+)
+
+func builder() *netlist.Builder {
+	return netlist.NewBuilder("t", cell.Default65nm())
+}
+
+func TestCombEval(t *testing.T) {
+	b := builder()
+	a := b.Input("a")
+	c := b.Input("c")
+	x := b.Xor(a, c)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ a, c, want bool }{
+		{false, false, false}, {true, false, true}, {false, true, true}, {true, true, false},
+	} {
+		s.SetPI(a, tc.a)
+		s.SetPI(c, tc.c)
+		s.Eval()
+		if s.Val(x) != tc.want {
+			t.Errorf("xor(%v,%v) = %v", tc.a, tc.c, s.Val(x))
+		}
+	}
+}
+
+func TestNewRejectsCycle(t *testing.T) {
+	b := builder()
+	// Handmade combinational loop.
+	n1 := b.NL.AddNet("n1")
+	out := b.NL.AddInst(cell.Inv, "i1", netlist.StageNone, "", n1)
+	inst := b.NL.Nets[out].Driver
+	b.NL.Insts[inst].Inputs[0] = out
+	b.NL.Nets[out].Sinks = append(b.NL.Nets[out].Sinks, netlist.Sink{Inst: inst, Pin: 0})
+	b.NL.Nets[n1].Sinks = nil
+	if _, err := New(b.NL); err == nil {
+		t.Error("cycle accepted")
+	}
+}
+
+func TestDFFPipelineDelay(t *testing.T) {
+	// Two back-to-back flops delay a PI by two cycles.
+	b := builder()
+	d := b.Input("d")
+	q1 := b.DFF(d)
+	q2 := b.DFF(q1)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []bool{true, false, true, true, false}
+	var gotQ2 []bool
+	for _, v := range seq {
+		s.SetPI(d, v)
+		s.Step()
+		gotQ2 = append(gotQ2, s.Val(q2))
+	}
+	// q2 at cycle k shows input from cycle k-2.
+	want := []bool{false, false, true, false, true}
+	for i := range want {
+		if gotQ2[i] != want[i] {
+			t.Errorf("cycle %d: q2 = %v, want %v", i, gotQ2[i], want[i])
+		}
+	}
+}
+
+func TestToggleCounting(t *testing.T) {
+	b := builder()
+	d := b.Input("d")
+	q := b.DFF(d)
+	inv := b.Not(q)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate the input every cycle: d toggles each of the 7
+	// transitions; q and inv follow one cycle later.
+	for c := 0; c < 8; c++ {
+		s.SetPI(d, c%2 == 1)
+		s.Step()
+	}
+	if s.Toggles(d) != 7 {
+		t.Errorf("d toggles = %d, want 7", s.Toggles(d))
+	}
+	// q lags d by one cycle, so it only completes 6 transitions in
+	// the 7 counted cycle boundaries.
+	if s.Toggles(q) != 6 || s.Toggles(inv) != 6 {
+		t.Errorf("q/inv toggles = %d/%d, want 6/6", s.Toggles(q), s.Toggles(inv))
+	}
+	act := s.Activity()
+	if act[d] != 1.0 {
+		t.Errorf("activity of d = %g, want 1", act[d])
+	}
+}
+
+func TestConstantNetHasZeroActivity(t *testing.T) {
+	b := builder()
+	d := b.Input("d")
+	k := b.Const(true)
+	x := b.And(d, k)
+	s, _ := New(b.NL)
+	for c := 0; c < 10; c++ {
+		s.SetPI(d, c%3 == 0)
+		s.Step()
+	}
+	if s.Toggles(k) != 0 {
+		t.Errorf("constant net toggled %d times", s.Toggles(k))
+	}
+	if s.Toggles(x) == 0 {
+		t.Error("gated net should toggle")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	b := builder()
+	d := b.Input("d")
+	q := b.DFF(d)
+	s, _ := New(b.NL)
+	s.SetPI(d, true)
+	s.Step()
+	s.Step()
+	if !s.Val(q) {
+		t.Fatal("q should be 1 after two cycles of d=1")
+	}
+	s.Reset()
+	if s.Val(q) || s.Cycles() != 0 || s.Toggles(d) != 0 {
+		t.Error("reset incomplete")
+	}
+	if act := s.Activity(); act[d] != 0 {
+		t.Error("activity after reset should be zero")
+	}
+}
+
+func TestToggleFlopDividesByTwo(t *testing.T) {
+	// Classic toggle flop: q' = !q. Output toggles every cycle.
+	b := builder()
+	ph := b.Input("ph")
+	q := b.DFF(ph)
+	nq := b.Not(q)
+	dff := b.NL.Nets[q].Driver
+	b.NL.Insts[dff].Inputs[0] = nq
+	b.NL.Nets[ph].Sinks = nil
+	b.NL.Nets[nq].Sinks = append(b.NL.Nets[nq].Sinks, netlist.Sink{Inst: dff, Pin: 0})
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]bool, 6)
+	for c := range vals {
+		s.Step()
+		vals[c] = s.Val(q)
+	}
+	want := []bool{false, true, false, true, false, true}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("toggle sequence wrong at %d: %v", i, vals)
+		}
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	b := builder()
+	w := b.InputWord("w", 8)
+	q := b.DFFWord(w)
+	s, _ := New(b.NL)
+	s.SetPIWord(w, 0xA5)
+	s.Step()
+	s.Step()
+	if got := s.Word(q); got != 0xA5 {
+		t.Errorf("word = %#x, want 0xA5", got)
+	}
+}
+
+func TestRunCallback(t *testing.T) {
+	b := builder()
+	d := b.Input("d")
+	b.DFF(d)
+	s, _ := New(b.NL)
+	n := 0
+	s.Run(5, func(c int, sim *Simulator) {
+		n++
+		sim.SetPI(d, c%2 == 0)
+	})
+	if n != 5 || s.Cycles() != 5 {
+		t.Errorf("run executed %d/%d cycles", n, s.Cycles())
+	}
+}
+
+// Property: for random combinational netlists, the simulator's Eval
+// matches a direct recursive evaluation of the logic.
+func TestEvalMatchesRecursiveEvaluation(t *testing.T) {
+	f := func(ops []byte, stimulus uint8) bool {
+		b := builder()
+		nets := []int{b.Input("a"), b.Input("b"), b.Input("c")}
+		for i, op := range ops {
+			if i >= 30 {
+				break
+			}
+			x := nets[int(op)%len(nets)]
+			y := nets[int(op>>3)%len(nets)]
+			var out int
+			switch op % 6 {
+			case 0:
+				out = b.Not(x)
+			case 1:
+				out = b.And(x, y)
+			case 2:
+				out = b.Or(x, y)
+			case 3:
+				out = b.Xor(x, y)
+			case 4:
+				out = b.Nand(x, y)
+			default:
+				out = b.Mux(x, y, nets[int(op>>5)%len(nets)])
+			}
+			nets = append(nets, out)
+		}
+		s, err := New(b.NL)
+		if err != nil {
+			return false
+		}
+		pi := []bool{stimulus&1 == 1, stimulus&2 == 2, stimulus&4 == 4}
+		for i, n := range b.NL.PIs {
+			s.SetPI(n, pi[i])
+		}
+		s.Eval()
+		// Recursive reference evaluation.
+		var evalNet func(n int) bool
+		evalNet = func(n int) bool {
+			drv := b.NL.Nets[n].Driver
+			if drv == -1 {
+				for i, p := range b.NL.PIs {
+					if p == n {
+						return pi[i]
+					}
+				}
+				return false
+			}
+			inst := &b.NL.Insts[drv]
+			in := make([]bool, len(inst.Inputs))
+			for k, m := range inst.Inputs {
+				in[k] = evalNet(m)
+			}
+			return b.NL.Cell(drv).Eval(in)
+		}
+		for _, n := range nets {
+			if s.Val(n) != evalNet(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

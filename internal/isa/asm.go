@@ -1,0 +1,257 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses VLIW assembly text into bundles. Syntax:
+//
+//	# or // comment to end of line
+//	label:                  (bundle labels, PC-relative branch targets)
+//	op ; op ; op ; op       (one line per bundle, ';' separates slots)
+//
+// Operations:
+//
+//	add $r1, $r2, $r3        register-register ALU/compare/multiply ops
+//	addi $r1, $r2, -5        immediate ops
+//	ld $r1, 8($r2)           load
+//	st $r3, -4($r2)          store (value, offset(base))
+//	beqz $r1, label          branches (slot 0 only)
+//	goto label
+//	nop
+//
+// maxReg is the highest usable register index (registers are $r0 ..
+// $rmaxReg); slots is the machine's issue width.
+func Assemble(src string, slots, maxReg int) ([]Bundle, error) {
+	type pending struct {
+		bundle, slot int
+		label        string
+		line         int
+	}
+	labels := make(map[string]int)
+	var bundles []Bundle
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by code on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", lineNo+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(bundles)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ";")
+		if len(parts) > slots {
+			return nil, fmt.Errorf("isa: line %d: %d operations exceed %d slots", lineNo+1, len(parts), slots)
+		}
+		bundle := make(Bundle, 0, len(parts))
+		for slot, part := range parts {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				bundle = append(bundle, Instr{Op: NOP})
+				continue
+			}
+			in, labelRef, err := parseOp(part, maxReg)
+			if err != nil {
+				return nil, fmt.Errorf("isa: line %d: %v", lineNo+1, err)
+			}
+			if in.Op.IsBranch() && slot != 0 {
+				return nil, fmt.Errorf("isa: line %d: branch %q outside slot 0", lineNo+1, part)
+			}
+			if labelRef != "" {
+				fixups = append(fixups, pending{len(bundles), slot, labelRef, lineNo + 1})
+			}
+			bundle = append(bundle, in)
+		}
+		bundles = append(bundles, bundle)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		off := target - f.bundle
+		if off < -(1<<15) || off >= 1<<15 {
+			return nil, fmt.Errorf("isa: line %d: branch to %q out of range", f.line, f.label)
+		}
+		bundles[f.bundle][f.slot].Imm16 = int32(off)
+	}
+	return bundles, nil
+}
+
+// parseOp parses one operation; when the operation references a label
+// its name is returned for fixup.
+func parseOp(s string, maxReg int) (Instr, string, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	if len(fields) == 0 {
+		return Instr{}, "", fmt.Errorf("empty operation")
+	}
+	mnemonic := strings.ToLower(fields[0])
+	op := opByName(mnemonic)
+	if op == NumOps {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := fields[1:]
+	reg := func(a string) (uint8, error) {
+		a = strings.TrimPrefix(strings.TrimPrefix(a, "$"), "r")
+		v, err := strconv.Atoi(a)
+		if err != nil || v < 0 || v > maxReg {
+			return 0, fmt.Errorf("bad register %q", a)
+		}
+		return uint8(v), nil
+	}
+	in := Instr{Op: op}
+	var err error
+	switch {
+	case op == NOP:
+		if len(args) != 0 {
+			return in, "", fmt.Errorf("nop takes no operands")
+		}
+	case op == GOTO:
+		if len(args) != 1 {
+			return in, "", fmt.Errorf("goto needs a target")
+		}
+		return parseBranchTarget(in, args[0])
+	case op == BEQZ || op == BNEZ:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s needs register and target", op)
+		}
+		if in.Ra, err = reg(args[0]); err != nil {
+			return in, "", err
+		}
+		return parseBranchTarget(in, args[1])
+	case op == LD || op == ST:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s needs value and offset(base)", op)
+		}
+		var valueReg uint8
+		if valueReg, err = reg(args[0]); err != nil {
+			return in, "", err
+		}
+		off, base, perr := parseMemOperand(args[1])
+		if perr != nil {
+			return in, "", perr
+		}
+		if in.Ra, err = reg(base); err != nil {
+			return in, "", err
+		}
+		if off < -(1<<11) || off >= 1<<11 {
+			return in, "", fmt.Errorf("offset %d out of 12-bit range", off)
+		}
+		in.Imm12 = int32(off)
+		if op == LD {
+			in.Rd = valueReg
+		} else {
+			in.Rb = valueReg
+		}
+	case op.UsesImm16():
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("%s needs rd, ra, imm", op)
+		}
+		if in.Rd, err = reg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Ra, err = reg(args[1]); err != nil {
+			return in, "", err
+		}
+		v, perr := strconv.ParseInt(args[2], 0, 32)
+		if perr != nil {
+			return in, "", fmt.Errorf("bad immediate %q", args[2])
+		}
+		if v < -(1<<15) || v >= 1<<16 {
+			return in, "", fmt.Errorf("immediate %d out of 16-bit range", v)
+		}
+		in.Imm16 = int32(v)
+	default: // register-register
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("%s needs rd, ra, rb", op)
+		}
+		if in.Rd, err = reg(args[0]); err != nil {
+			return in, "", err
+		}
+		if in.Ra, err = reg(args[1]); err != nil {
+			return in, "", err
+		}
+		if in.Rb, err = reg(args[2]); err != nil {
+			return in, "", err
+		}
+	}
+	return in, "", nil
+}
+
+func parseBranchTarget(in Instr, arg string) (Instr, string, error) {
+	if v, err := strconv.ParseInt(arg, 0, 32); err == nil {
+		if v < -(1<<15) || v >= 1<<15 {
+			return in, "", fmt.Errorf("branch offset %d out of range", v)
+		}
+		in.Imm16 = int32(v)
+		return in, "", nil
+	}
+	if !isIdent(arg) {
+		return in, "", fmt.Errorf("bad branch target %q", arg)
+	}
+	return in, arg, nil
+}
+
+func parseMemOperand(s string) (off int64, base string, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := s[:open]
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = strconv.ParseInt(offStr, 0, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad offset in %q", s)
+	}
+	return off, s[open+1 : len(s)-1], nil
+}
+
+func opByName(name string) Op {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i)
+		}
+	}
+	return NumOps
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,329 @@
+// Package mc is the Monte Carlo statistical static timing analysis
+// engine of the flow (paper Section 4.3): it draws fabricated-chip
+// instances from the process-variation model, re-times the placed
+// netlist for each, and characterizes the per-pipeline-stage
+// critical-path (slack) distributions — including the normal fit with
+// a chi-square goodness-of-fit test at 95% confidence and the
+// classification of timing-violation scenarios that drives voltage
+// island generation (paper Section 4.4).
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+	"vipipe/internal/sta"
+	"vipipe/internal/stats"
+	"vipipe/internal/variation"
+)
+
+// Options configures a Monte Carlo run.
+type Options struct {
+	Samples int
+	Seed    int64
+	ClockPS float64
+	Workers int // 0 = GOMAXPROCS
+	// Derate composes the slack-recovery factors into every sample
+	// (nil = none).
+	Derate []float64
+	// Domains assigns each instance a supply domain (nil = all low):
+	// the voltage-island generator uses this to verify that a
+	// candidate high-Vdd slice compensates a violation scenario.
+	Domains []cell.Domain
+}
+
+// StageDist is the sampled slack distribution of one pipeline stage.
+type StageDist struct {
+	Stage     netlist.Stage
+	SlackPS   []float64 // per-sample worst slack of the stage
+	Fit       stats.Normal
+	GOF       stats.GOFResult // chi-square goodness of fit (the paper's test)
+	KS        stats.GOFResult // Kolmogorov-Smirnov, binning-free complement
+	FitErr    error
+	ViolFrac  float64 // fraction of samples with negative slack
+	ViolProb  float64 // P(slack < 0) under the normal fit
+	Endpoints int     // endpoints in this stage
+}
+
+// Violates reports whether the stage's distribution breaks the nominal
+// slack-met condition at the given yield threshold.
+func (d *StageDist) Violates(alpha float64) bool {
+	return d.ViolProb > alpha
+}
+
+// Result is a full Monte Carlo characterization at one chip position.
+type Result struct {
+	Pos     variation.Pos
+	ClockPS float64
+	Samples int
+
+	PerStage map[netlist.Stage]*StageDist
+	// CritPS is the distribution of the global critical path delay.
+	CritPS []float64
+	// EndpointViolations counts, per endpoint instance, the samples
+	// in which that endpoint violated.
+	EndpointViolations map[int]int
+	// StageCriticals counts, per stage, how often each endpoint was
+	// that stage's critical (worst-slack) endpoint across samples:
+	// the "signal paths that can become critical under process
+	// variations" that decide where Razor sensors go (Section 4.4).
+	StageCriticals map[netlist.Stage]map[int]int
+}
+
+// Run performs the Monte Carlo SSTA for a core placed at pos.
+func Run(a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Options) (*Result, error) {
+	if opts.Samples < 2 {
+		return nil, fmt.Errorf("mc: need at least 2 samples, got %d", opts.Samples)
+	}
+	if opts.ClockPS <= 0 {
+		return nil, fmt.Errorf("mc: clock period %g must be positive", opts.ClockPS)
+	}
+	if opts.Derate != nil && len(opts.Derate) != a.NL.NumCells() {
+		return nil, fmt.Errorf("mc: derate length %d != %d cells", len(opts.Derate), a.NL.NumCells())
+	}
+	if opts.Domains != nil && len(opts.Domains) != a.NL.NumCells() {
+		return nil, fmt.Errorf("mc: domains length %d != %d cells", len(opts.Domains), a.NL.NumCells())
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Samples {
+		workers = opts.Samples
+	}
+
+	nCells := a.NL.NumCells()
+	tech := &a.NL.Lib.Tech
+
+	type sampleOut struct {
+		stageSlack map[netlist.Stage]float64
+		stageWorst map[netlist.Stage]int
+		crit       float64
+		violators  []int
+	}
+	outs := make([]sampleOut, opts.Samples)
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep := &sta.Report{}
+			scale := make([]float64, nCells)
+			for k := range idx {
+				rng := stats.DeriveStream(opts.Seed, fmt.Sprintf("mc/%s/%d", pos.Name, k))
+				lg := model.SampleChip(a.PL, pos, rng)
+				for i := 0; i < nCells; i++ {
+					vdd := tech.VddLow
+					if opts.Domains != nil && opts.Domains[i] == cell.DomainHigh {
+						vdd = tech.VddHigh
+					}
+					s := tech.DelayScale(vdd, lg[i])
+					if opts.Derate != nil {
+						s *= opts.Derate[i]
+					}
+					scale[i] = s
+				}
+				a.RunInto(rep, opts.ClockPS, scale)
+				o := sampleOut{
+					stageSlack: make(map[netlist.Stage]float64, len(rep.PerStage)),
+					stageWorst: make(map[netlist.Stage]int, len(rep.PerStage)),
+				}
+				for st, v := range rep.PerStage {
+					o.stageSlack[st] = v.WorstSlack
+					o.stageWorst[st] = v.Endpoint
+				}
+				o.crit = rep.CritPS
+				for e := range rep.Endpoints {
+					ep := &rep.Endpoints[e]
+					if ep.Slack < 0 && ep.Inst != netlist.NoInst {
+						o.violators = append(o.violators, ep.Inst)
+					}
+				}
+				outs[k] = o
+			}
+		}()
+	}
+	for k := 0; k < opts.Samples; k++ {
+		idx <- k
+	}
+	close(idx)
+	wg.Wait()
+
+	res := &Result{
+		Pos:                pos,
+		ClockPS:            opts.ClockPS,
+		Samples:            opts.Samples,
+		PerStage:           make(map[netlist.Stage]*StageDist),
+		CritPS:             make([]float64, opts.Samples),
+		EndpointViolations: make(map[int]int),
+		StageCriticals:     make(map[netlist.Stage]map[int]int),
+	}
+	for k, o := range outs {
+		res.CritPS[k] = o.crit
+		for st, sl := range o.stageSlack {
+			d := res.PerStage[st]
+			if d == nil {
+				d = &StageDist{Stage: st}
+				res.PerStage[st] = d
+			}
+			d.SlackPS = append(d.SlackPS, sl)
+		}
+		for _, inst := range o.violators {
+			res.EndpointViolations[inst]++
+		}
+		for st, inst := range o.stageWorst {
+			m := res.StageCriticals[st]
+			if m == nil {
+				m = make(map[int]int)
+				res.StageCriticals[st] = m
+			}
+			m[inst]++
+		}
+	}
+	for _, d := range res.PerStage {
+		d.finalize(opts.Samples)
+	}
+	return res, nil
+}
+
+// finalize fits the distribution (paper: chi-square goodness-of-fit at
+// a 95% confidence level) and computes violation statistics.
+func (d *StageDist) finalize(samples int) {
+	viol := 0
+	for _, s := range d.SlackPS {
+		if s < 0 {
+			viol++
+		}
+	}
+	d.ViolFrac = float64(viol) / float64(samples)
+	fit, err := stats.FitNormal(d.SlackPS)
+	if err != nil {
+		d.FitErr = err
+		return
+	}
+	d.Fit = fit
+	if fit.Sigma > 0 {
+		d.ViolProb = fit.CDF(0)
+	} else if fit.Mu < 0 {
+		d.ViolProb = 1
+	}
+	if gof, err := stats.ChiSquareNormalTest(d.SlackPS, fit, 0.05); err == nil {
+		d.GOF = gof
+	}
+	if ks, err := stats.KolmogorovSmirnovTest(d.SlackPS, fit, 0.05); err == nil {
+		d.KS = ks
+	}
+}
+
+// PipelineStages are the stages considered for scenario
+// classification; the paper excludes fetch ("the lack of memory
+// implementation does not allow useful insights into the fetch
+// stage").
+var PipelineStages = []netlist.Stage{
+	netlist.StageDecode, netlist.StageExecute, netlist.StageWriteback,
+}
+
+// Scenario is a timing-violation scenario: the number of analyzed
+// pipeline stages whose slack distribution violates the nominal
+// slack-met condition (paper Section 4.4: 3 scenarios plus the
+// all-met case).
+type Scenario int
+
+// Classify returns the scenario and the violating stages, ordered by
+// severity (most violating first).
+func (r *Result) Classify(alpha float64) (Scenario, []netlist.Stage) {
+	if alpha <= 0 {
+		alpha = 1e-3
+	}
+	var stages []netlist.Stage
+	for _, st := range PipelineStages {
+		if d := r.PerStage[st]; d != nil && d.Violates(alpha) {
+			stages = append(stages, st)
+		}
+	}
+	// Order by mean slack, most negative first (violation
+	// probability saturates at 1 for severe scenarios and cannot
+	// discriminate).
+	for i := 1; i < len(stages); i++ {
+		for j := i; j > 0 && r.PerStage[stages[j]].Fit.Mu < r.PerStage[stages[j-1]].Fit.Mu; j-- {
+			stages[j], stages[j-1] = stages[j-1], stages[j]
+		}
+	}
+	return Scenario(len(stages)), stages
+}
+
+// CriticalEndpoints returns the endpoints that were the stage's
+// critical path in at least one sampled chip, most frequent first: the
+// flip-flops that need Razor sensing (paper: "12 signal paths becoming
+// critical ... with a probability roughly proportional to their
+// positive slack under nominal conditions").
+func (r *Result) CriticalEndpoints(nl *netlist.Netlist, stage netlist.Stage) []EndpointRisk {
+	var out []EndpointRisk
+	for inst, count := range r.StageCriticals[stage] {
+		if inst == netlist.NoInst || nl.Insts[inst].Stage != stage {
+			continue
+		}
+		out = append(out, EndpointRisk{
+			Inst:     inst,
+			ViolFrac: float64(count) / float64(r.Samples),
+		})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j-1], out[j]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b EndpointRisk) bool {
+	if a.ViolFrac != b.ViolFrac {
+		return a.ViolFrac < b.ViolFrac
+	}
+	return a.Inst > b.Inst
+}
+
+// EndpointRisk is one statistically-critical endpoint.
+type EndpointRisk struct {
+	Inst     int
+	ViolFrac float64 // fraction of chips in which it violates
+}
+
+// Yield returns the parametric yield at the given clock period: the
+// fraction of sampled chips whose critical path meets it. Evaluating
+// it over a period sweep gives the classic SSTA yield-vs-frequency
+// curve the statistical-design literature optimizes against (the
+// paper's Section 2 survey).
+func (r *Result) Yield(clockPS float64) float64 {
+	if len(r.CritPS) == 0 {
+		return 0
+	}
+	met := 0
+	for _, c := range r.CritPS {
+		if c <= clockPS {
+			met++
+		}
+	}
+	return float64(met) / float64(len(r.CritPS))
+}
+
+// YieldCurve evaluates Yield over n equally spaced clock periods
+// between loPS and hiPS, returning parallel period and yield slices.
+func (r *Result) YieldCurve(loPS, hiPS float64, n int) (periods, yields []float64) {
+	if n < 2 {
+		n = 2
+	}
+	periods = make([]float64, n)
+	yields = make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := loPS + (hiPS-loPS)*float64(i)/float64(n-1)
+		periods[i] = p
+		yields[i] = r.Yield(p)
+	}
+	return periods, yields
+}

@@ -1,0 +1,302 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+	"vipipe/internal/sta"
+	"vipipe/internal/variation"
+	"vipipe/internal/vex"
+)
+
+type fixture struct {
+	a      *sta.Analyzer
+	model  variation.Model
+	derate []float64
+	clock  float64
+}
+
+// coreFixture builds the small VEX core, places it, and applies slack
+// recovery so the stage wall resembles the paper's Fig. 3 setup.
+func coreFixture(t *testing.T) *fixture {
+	t.Helper()
+	core, err := vex.Build(vex.SmallConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Global(core.NL, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sta.New(core.NL, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := a.Run(1e9, nil).CritPS * 1.001
+	derate := a.SlackRecovery(clock, sta.DefaultRecoveryTargets(), 12, 25)
+	m := variation.Default()
+	return &fixture{a: a, model: m, derate: derate, clock: clock}
+}
+
+func (f *fixture) run(t *testing.T, pos variation.Pos, samples int) *Result {
+	t.Helper()
+	res, err := Run(f.a, &f.model, pos, Options{
+		Samples: samples, Seed: 11, ClockPS: f.clock, Derate: f.derate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	f := coreFixture(t)
+	if _, err := Run(f.a, &f.model, variation.Pos{}, Options{Samples: 1, ClockPS: 100}); err == nil {
+		t.Error("1 sample accepted")
+	}
+	if _, err := Run(f.a, &f.model, variation.Pos{}, Options{Samples: 10, ClockPS: 0}); err == nil {
+		t.Error("zero clock accepted")
+	}
+	if _, err := Run(f.a, &f.model, variation.Pos{}, Options{Samples: 10, ClockPS: 100, Derate: []float64{1}}); err == nil {
+		t.Error("bad derate length accepted")
+	}
+}
+
+func TestPointAAllStagesViolate(t *testing.T) {
+	f := coreFixture(t)
+	pos := f.model.DiagonalPositions()[0] // A
+	res := f.run(t, pos, 200)
+	sc, stages := res.Classify(1e-3)
+	if sc != 3 {
+		t.Fatalf("scenario at A = %d (%v), want 3", sc, stages)
+	}
+	// Fig. 3: the execute stage is the most severe violator.
+	if stages[0] != netlist.StageExecute {
+		t.Errorf("most severe stage = %v, want EXECUTE", stages[0])
+	}
+	// All three mean slacks negative, EX worst.
+	ex := res.PerStage[netlist.StageExecute]
+	dc := res.PerStage[netlist.StageDecode]
+	wb := res.PerStage[netlist.StageWriteback]
+	if ex.Fit.Mu >= 0 || dc.Fit.Mu >= 0 || wb.Fit.Mu >= 0 {
+		t.Errorf("mean slacks at A should all be negative: ex=%.0f dc=%.0f wb=%.0f", ex.Fit.Mu, dc.Fit.Mu, wb.Fit.Mu)
+	}
+	if !(ex.Fit.Mu < dc.Fit.Mu && dc.Fit.Mu < wb.Fit.Mu) {
+		t.Errorf("stage severity ordering wrong: ex=%.0f dc=%.0f wb=%.0f", ex.Fit.Mu, dc.Fit.Mu, wb.Fit.Mu)
+	}
+}
+
+func TestPointDMeetsTiming(t *testing.T) {
+	f := coreFixture(t)
+	pos := f.model.DiagonalPositions()[3] // D
+	res := f.run(t, pos, 200)
+	sc, stages := res.Classify(1e-3)
+	if sc != 0 {
+		t.Fatalf("scenario at D = %d (%v), want 0", sc, stages)
+	}
+}
+
+func TestScenarioSeverityDecreasesAlongDiagonal(t *testing.T) {
+	f := coreFixture(t)
+	prev := Scenario(4)
+	for _, pos := range f.model.DiagonalPositions() {
+		res := f.run(t, pos, 150)
+		sc, _ := res.Classify(1e-3)
+		if sc > prev {
+			t.Errorf("scenario increased at %s: %d after %d", pos.Name, sc, prev)
+		}
+		prev = sc
+	}
+}
+
+func TestDistributionsFitNormal(t *testing.T) {
+	f := coreFixture(t)
+	res := f.run(t, f.model.DiagonalPositions()[0], 400)
+	for _, st := range PipelineStages {
+		d := res.PerStage[st]
+		if d == nil {
+			t.Fatalf("no distribution for %v", st)
+		}
+		if d.FitErr != nil {
+			t.Fatalf("fit failed for %v: %v", st, d.FitErr)
+		}
+		if d.Fit.Sigma <= 0 {
+			t.Errorf("%v: sigma = %g", st, d.Fit.Sigma)
+		}
+		// The paper fits all stage distributions to normals at 95%
+		// confidence; ours should at least not be wildly non-normal.
+		if d.GOF.Bins > 0 && d.GOF.PValue < 1e-6 {
+			t.Errorf("%v: distribution wildly non-normal (p=%g)", st, d.GOF.PValue)
+		}
+	}
+}
+
+func TestDepthAveragesOutRandomVariation(t *testing.T) {
+	// Paper Section 4.3: "since path delays are determined by taking
+	// an aggregate sum of each gate's delay in the path, the path's
+	// ratio of variance to mean will decrease as the logic depth
+	// increases". Verify the mechanism directly: a shallow chain's
+	// delay distribution has a larger coefficient of variation than
+	// a deep chain's.
+	b := netlist.NewBuilder("depths", cell.Default65nm())
+	d := b.Input("d")
+	q := b.DFF(d)
+	shallow, deep := q, q
+	for i := 0; i < 6; i++ {
+		shallow = b.Not(shallow)
+	}
+	for i := 0; i < 60; i++ {
+		deep = b.Not(deep)
+	}
+	r := b.Scope(netlist.StageDecode, "shallow")
+	b.DFF(shallow)
+	r()
+	r = b.Scope(netlist.StageExecute, "deep")
+	b.DFF(deep)
+	r()
+	p, err := place.Global(b.NL, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sta.New(b.NL, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := variation.Default()
+	res, err := Run(a, &m, m.DiagonalPositions()[0], Options{Samples: 300, Seed: 2, ClockPS: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := func(st netlist.Stage) float64 {
+		dd := res.PerStage[st]
+		meanDelay := res.ClockPS - dd.Fit.Mu
+		return dd.Fit.Sigma / meanDelay
+	}
+	cvShallow, cvDeep := cv(netlist.StageDecode), cv(netlist.StageExecute)
+	if cvDeep >= cvShallow {
+		t.Errorf("cv(deep)=%.4f should be < cv(shallow)=%.4f", cvDeep, cvShallow)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	f := coreFixture(t)
+	pos := f.model.DiagonalPositions()[1]
+	r1, err := Run(f.a, &f.model, pos, Options{Samples: 40, Seed: 5, ClockPS: f.clock, Derate: f.derate, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(f.a, &f.model, pos, Options{Samples: 40, Seed: 5, ClockPS: f.clock, Derate: f.derate, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.CritPS {
+		if r1.CritPS[i] != r8.CritPS[i] {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestCriticalEndpointsSubsetAndOrdered(t *testing.T) {
+	f := coreFixture(t)
+	res := f.run(t, f.model.DiagonalPositions()[0], 200)
+	eps := res.CriticalEndpoints(f.a.NL, netlist.StageExecute)
+	if len(eps) == 0 {
+		t.Fatal("no critical endpoints in EX at point A")
+	}
+	total := 0
+	for _, d := range res.PerStage {
+		total += len(d.SlackPS)
+	}
+	// Razor economy: only a small subset of EX endpoints can become
+	// critical (paper found 12 of all EX flops).
+	exEndpoints := 0
+	for i := range f.a.NL.Insts {
+		if f.a.NL.IsSequential(i) && f.a.NL.Insts[i].Stage == netlist.StageExecute {
+			exEndpoints++
+		}
+	}
+	if len(eps) >= exEndpoints/2 {
+		t.Errorf("%d of %d EX endpoints critical — sensor placement buys nothing", len(eps), exEndpoints)
+	}
+	for i := 1; i < len(eps); i++ {
+		if eps[i].ViolFrac > eps[i-1].ViolFrac {
+			t.Error("endpoints not sorted by violation frequency")
+		}
+	}
+	for _, ep := range eps {
+		if f.a.NL.Insts[ep.Inst].Stage != netlist.StageExecute {
+			t.Error("wrong-stage endpoint reported")
+		}
+	}
+}
+
+func TestCritPSDistributionSane(t *testing.T) {
+	f := coreFixture(t)
+	res := f.run(t, f.model.DiagonalPositions()[0], 100)
+	for _, c := range res.CritPS {
+		if c < f.clock*0.8 || c > f.clock*1.3 {
+			t.Fatalf("critical path %g implausible for clock %g", c, f.clock)
+		}
+	}
+	// Paper: worst-case clock frequency degraded by ~10% at A. Ours
+	// should be in the same ballpark (systematic 5.5% + random).
+	worst := res.CritPS[0]
+	for _, c := range res.CritPS {
+		worst = math.Max(worst, c)
+	}
+	degr := worst/f.clock - 1
+	if degr < 0.03 || degr > 0.20 {
+		t.Errorf("worst-case degradation %.1f%% out of plausible range", degr*100)
+	}
+}
+
+func TestYieldMonotoneAndBounded(t *testing.T) {
+	f := coreFixture(t)
+	res := f.run(t, f.model.DiagonalPositions()[1], 100)
+	if y := res.Yield(0); y != 0 {
+		t.Errorf("yield at zero period = %g", y)
+	}
+	if y := res.Yield(1e12); y != 1 {
+		t.Errorf("yield at huge period = %g", y)
+	}
+	periods, yields := res.YieldCurve(f.clock*0.9, f.clock*1.2, 16)
+	if len(periods) != 16 || len(yields) != 16 {
+		t.Fatal("curve shape wrong")
+	}
+	for i := 1; i < len(yields); i++ {
+		if yields[i] < yields[i-1] {
+			t.Fatalf("yield curve not monotone at %d: %v", i, yields)
+		}
+	}
+}
+
+func TestYieldOrderedByPosition(t *testing.T) {
+	// At the same clock, yield improves from A to D.
+	f := coreFixture(t)
+	prev := -1.0
+	for _, pos := range f.model.DiagonalPositions() {
+		res := f.run(t, pos, 100)
+		y := res.Yield(f.clock)
+		if y < prev {
+			t.Errorf("yield at %s (%.2f) below previous (%.2f)", pos.Name, y, prev)
+		}
+		prev = y
+	}
+}
+
+func TestKSFieldPopulated(t *testing.T) {
+	f := coreFixture(t)
+	res := f.run(t, f.model.DiagonalPositions()[2], 120)
+	for _, st := range PipelineStages {
+		d := res.PerStage[st]
+		if d.KS.DOF == 0 {
+			t.Errorf("%v: KS test not run", st)
+		}
+		if d.KS.PValue < 0 || d.KS.PValue > 1 {
+			t.Errorf("%v: KS p-value %g out of range", st, d.KS.PValue)
+		}
+	}
+}

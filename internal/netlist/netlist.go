@@ -1,0 +1,307 @@
+// Package netlist provides the mapped gate-level netlist data
+// structure that every step of the flow operates on: a flat list of
+// library-cell instances connected by nets, with pipeline-stage and
+// functional-unit tags used for the paper's per-stage timing analysis
+// and per-unit area/power breakdowns (Table 1).
+package netlist
+
+import (
+	"fmt"
+
+	"vipipe/internal/cell"
+)
+
+// Stage tags an instance with the pipeline stage it belongs to. A
+// flip-flop is tagged with the stage whose outputs it captures, so the
+// critical path "of stage S" ends at a DFF tagged S (paper Fig. 3
+// analyzes DC, EX and WB endpoint distributions).
+type Stage uint8
+
+// Pipeline stages of the 4-stage VEX core.
+const (
+	StageNone Stage = iota
+	StageFetch
+	StageDecode
+	StageExecute
+	StageWriteback
+	NumStages
+)
+
+var stageNames = [...]string{"NONE", "FETCH", "DECODE", "EXECUTE", "WRITEBACK"}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("STAGE(%d)", uint8(s))
+}
+
+// NoNet marks an unconnected net reference.
+const NoNet = -1
+
+// NoInst marks a missing instance reference (e.g. the driver of a
+// primary input net).
+const NoInst = -1
+
+// Inst is one placed-library-cell instance.
+type Inst struct {
+	ID     int
+	Name   string
+	Kind   cell.Kind
+	Inputs []int // net IDs feeding each input pin, in pin order
+	Out    int   // net ID driven by the single output pin
+	Stage  Stage
+	Unit   string // functional unit tag ("regfile", "execute/slot0/alu", ...)
+}
+
+// Net is an electrical node. Exactly one driver (an instance output or
+// a primary input) and any number of sinks.
+type Net struct {
+	ID     int
+	Name   string
+	Driver int // driving instance ID, or NoInst for primary inputs
+	Sinks  []Sink
+}
+
+// Sink is one (instance, input-pin) load on a net.
+type Sink struct {
+	Inst int
+	Pin  int
+}
+
+// Netlist is a flat mapped design.
+type Netlist struct {
+	Name  string
+	Lib   *cell.Library
+	Insts []Inst
+	Nets  []Net
+	// PIs are primary-input net IDs (driven from outside; for the
+	// core these are reset vectors and memory-interface inputs).
+	PIs []int
+	// POs are primary-output net IDs (observed outside).
+	POs []int
+}
+
+// New returns an empty netlist over the given library.
+func New(name string, lib *cell.Library) *Netlist {
+	return &Netlist{Name: name, Lib: lib}
+}
+
+// NumCells returns the number of instances.
+func (n *Netlist) NumCells() int { return len(n.Insts) }
+
+// NumNets returns the number of nets.
+func (n *Netlist) NumNets() int { return len(n.Nets) }
+
+// Cell returns the library record of instance i.
+func (n *Netlist) Cell(i int) *cell.Cell { return n.Lib.Cell(n.Insts[i].Kind) }
+
+// IsSequential reports whether instance i is a flip-flop.
+func (n *Netlist) IsSequential(i int) bool { return n.Cell(i).Sequential }
+
+// AddNet creates a new undriven net and returns its ID.
+func (n *Netlist) AddNet(name string) int {
+	id := len(n.Nets)
+	n.Nets = append(n.Nets, Net{ID: id, Name: name, Driver: NoInst})
+	return id
+}
+
+// AddPI creates a primary-input net.
+func (n *Netlist) AddPI(name string) int {
+	id := n.AddNet(name)
+	n.PIs = append(n.PIs, id)
+	return id
+}
+
+// MarkPO marks net id as a primary output.
+func (n *Netlist) MarkPO(id int) { n.POs = append(n.POs, id) }
+
+// AddInst creates an instance of kind driving a fresh net and connects
+// its inputs. It returns the ID of the driven net. Stage and unit tags
+// are taken from the arguments.
+func (n *Netlist) AddInst(kind cell.Kind, name string, stage Stage, unit string, inputs ...int) int {
+	c := n.Lib.Cell(kind)
+	if len(inputs) != c.NumInputs {
+		panic(fmt.Sprintf("netlist: %s %q: %d inputs, want %d", c.Name, name, len(inputs), c.NumInputs))
+	}
+	out := n.AddNet(name + "/Z")
+	instID := len(n.Insts)
+	n.Insts = append(n.Insts, Inst{
+		ID:     instID,
+		Name:   name,
+		Kind:   kind,
+		Inputs: append([]int(nil), inputs...),
+		Out:    out,
+		Stage:  stage,
+		Unit:   unit,
+	})
+	n.Nets[out].Driver = instID
+	for pin, netID := range inputs {
+		n.Nets[netID].Sinks = append(n.Nets[netID].Sinks, Sink{Inst: instID, Pin: pin})
+	}
+	return out
+}
+
+// RewireInput reconnects input pin of instance inst from its current
+// net to newNet, keeping sink bookkeeping consistent. Used for
+// constructing sequential feedback (a flop is created on a placeholder
+// net, then rewired once its D expression exists) and for splicing
+// level shifters into domain-crossing nets.
+func (n *Netlist) RewireInput(inst, pin, newNet int) {
+	old := n.Insts[inst].Inputs[pin]
+	if old == newNet {
+		return
+	}
+	n.Insts[inst].Inputs[pin] = newNet
+	sinks := n.Nets[old].Sinks[:0]
+	for _, s := range n.Nets[old].Sinks {
+		if !(s.Inst == inst && s.Pin == pin) {
+			sinks = append(sinks, s)
+		}
+	}
+	n.Nets[old].Sinks = sinks
+	n.Nets[newNet].Sinks = append(n.Nets[newNet].Sinks, Sink{Inst: inst, Pin: pin})
+}
+
+// ReplaceNetSinks moves every sink of net old onto net newNet. Used to
+// resolve placeholder nets during staged construction: logic is built
+// against a placeholder, and once the real signal exists all loads are
+// transferred to it in one step.
+func (n *Netlist) ReplaceNetSinks(old, newNet int) {
+	if old == newNet {
+		return
+	}
+	for _, s := range n.Nets[old].Sinks {
+		n.Insts[s.Inst].Inputs[s.Pin] = newNet
+		n.Nets[newNet].Sinks = append(n.Nets[newNet].Sinks, s)
+	}
+	n.Nets[old].Sinks = nil
+}
+
+// Validate checks structural consistency: arities, connectivity,
+// driver bookkeeping, and absence of combinational cycles. It returns
+// the first problem found.
+func (n *Netlist) Validate() error {
+	for i := range n.Insts {
+		inst := &n.Insts[i]
+		c := n.Lib.Cell(inst.Kind)
+		if len(inst.Inputs) != c.NumInputs {
+			return fmt.Errorf("netlist: inst %q arity %d != %d", inst.Name, len(inst.Inputs), c.NumInputs)
+		}
+		for pin, netID := range inst.Inputs {
+			if netID < 0 || netID >= len(n.Nets) {
+				return fmt.Errorf("netlist: inst %q pin %d connected to bad net %d", inst.Name, pin, netID)
+			}
+		}
+		if inst.Out < 0 || inst.Out >= len(n.Nets) {
+			return fmt.Errorf("netlist: inst %q output on bad net %d", inst.Name, inst.Out)
+		}
+		if n.Nets[inst.Out].Driver != i {
+			return fmt.Errorf("netlist: net %q driver mismatch for inst %q", n.Nets[inst.Out].Name, inst.Name)
+		}
+	}
+	isPI := make(map[int]bool, len(n.PIs))
+	for _, id := range n.PIs {
+		isPI[id] = true
+	}
+	for i := range n.Nets {
+		net := &n.Nets[i]
+		if net.Driver == NoInst && !isPI[net.ID] && len(net.Sinks) > 0 {
+			return fmt.Errorf("netlist: net %q has sinks but no driver", net.Name)
+		}
+		for _, s := range net.Sinks {
+			if s.Inst < 0 || s.Inst >= len(n.Insts) || n.Insts[s.Inst].Inputs[s.Pin] != net.ID {
+				return fmt.Errorf("netlist: net %q sink bookkeeping broken", net.Name)
+			}
+		}
+	}
+	if _, err := n.Levelize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Levelize returns a topological order of the combinational instances
+// (sequential cells excluded, since their outputs are timing startpoints).
+// It returns an error when a combinational cycle exists.
+func (n *Netlist) Levelize() ([]int, error) {
+	// In-degree of each comb instance counting only comb fanin.
+	indeg := make([]int32, len(n.Insts))
+	order := make([]int, 0, len(n.Insts))
+	queue := make([]int, 0, len(n.Insts))
+	combCount := 0
+	for i := range n.Insts {
+		if n.IsSequential(i) {
+			continue
+		}
+		combCount++
+		deg := int32(0)
+		for _, netID := range n.Insts[i].Inputs {
+			d := n.Nets[netID].Driver
+			if d != NoInst && !n.IsSequential(d) {
+				deg++
+			}
+		}
+		indeg[i] = deg
+		if deg == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, s := range n.Nets[n.Insts[i].Out].Sinks {
+			j := s.Inst
+			if n.IsSequential(j) {
+				continue
+			}
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != combCount {
+		return nil, fmt.Errorf("netlist: combinational cycle detected (%d of %d cells ordered)", len(order), combCount)
+	}
+	return order, nil
+}
+
+// Sequentials returns the IDs of all flip-flop instances.
+func (n *Netlist) Sequentials() []int {
+	var out []int
+	for i := range n.Insts {
+		if n.IsSequential(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LogicDepth returns the maximum number of combinational cells on any
+// register-to-register (or PI-to-register) path, a structural metric
+// the paper relates to delay variance (Section 4.3: deeper logic
+// averages out random variation).
+func (n *Netlist) LogicDepth() int {
+	order, err := n.Levelize()
+	if err != nil {
+		return -1
+	}
+	depth := make([]int, len(n.Insts))
+	maxDepth := 0
+	for _, i := range order {
+		d := 0
+		for _, netID := range n.Insts[i].Inputs {
+			drv := n.Nets[netID].Driver
+			if drv != NoInst && !n.IsSequential(drv) && depth[drv] > d {
+				d = depth[drv]
+			}
+		}
+		depth[i] = d + 1
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+	}
+	return maxDepth
+}

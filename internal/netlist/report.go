@@ -1,0 +1,96 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vipipe/internal/cell"
+)
+
+// UnitStats aggregates instance counts and area for one functional
+// unit group.
+type UnitStats struct {
+	Unit    string
+	Cells   int
+	Flops   int
+	AreaUM2 float64
+}
+
+// DesignStats summarizes a netlist.
+type DesignStats struct {
+	Cells      int
+	Flops      int
+	Nets       int
+	AreaUM2    float64
+	LogicDepth int
+	ByKind     map[cell.Kind]int
+	ByUnit     []UnitStats // sorted by descending area
+}
+
+// Stats computes the design summary. Unit grouping uses the first path
+// component of the unit tag ("execute/slot0/alu" groups under
+// "execute"), matching the granularity of the paper's Table 1.
+func (n *Netlist) Stats() DesignStats {
+	ds := DesignStats{
+		Cells:  len(n.Insts),
+		Nets:   len(n.Nets),
+		ByKind: make(map[cell.Kind]int),
+	}
+	unitArea := make(map[string]*UnitStats)
+	for i := range n.Insts {
+		inst := &n.Insts[i]
+		c := n.Lib.Cell(inst.Kind)
+		ds.AreaUM2 += c.AreaUM2
+		ds.ByKind[inst.Kind]++
+		if c.Sequential {
+			ds.Flops++
+		}
+		u := TopUnit(inst.Unit)
+		us := unitArea[u]
+		if us == nil {
+			us = &UnitStats{Unit: u}
+			unitArea[u] = us
+		}
+		us.Cells++
+		us.AreaUM2 += c.AreaUM2
+		if c.Sequential {
+			us.Flops++
+		}
+	}
+	for _, us := range unitArea {
+		ds.ByUnit = append(ds.ByUnit, *us)
+	}
+	sort.Slice(ds.ByUnit, func(i, j int) bool {
+		if ds.ByUnit[i].AreaUM2 != ds.ByUnit[j].AreaUM2 {
+			return ds.ByUnit[i].AreaUM2 > ds.ByUnit[j].AreaUM2
+		}
+		return ds.ByUnit[i].Unit < ds.ByUnit[j].Unit
+	})
+	ds.LogicDepth = n.LogicDepth()
+	return ds
+}
+
+// TopUnit returns the first path component of a unit tag.
+func TopUnit(unit string) string {
+	if i := strings.IndexByte(unit, '/'); i >= 0 {
+		return unit[:i]
+	}
+	if unit == "" {
+		return "(untagged)"
+	}
+	return unit
+}
+
+// String renders the summary as a table in the spirit of the paper's
+// Table 1 (area column).
+func (ds DesignStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cells=%d flops=%d nets=%d area=%.0fum2 depth=%d\n",
+		ds.Cells, ds.Flops, ds.Nets, ds.AreaUM2, ds.LogicDepth)
+	fmt.Fprintf(&b, "%-14s %10s %8s %8s\n", "unit", "area(um2)", "area%", "cells")
+	for _, u := range ds.ByUnit {
+		fmt.Fprintf(&b, "%-14s %10.0f %7.2f%% %8d\n", u.Unit, u.AreaUM2, 100*u.AreaUM2/ds.AreaUM2, u.Cells)
+	}
+	return b.String()
+}

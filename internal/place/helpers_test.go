@@ -1,0 +1,21 @@
+package place
+
+import (
+	"testing"
+
+	"vipipe/internal/netlist"
+	"vipipe/internal/stats"
+)
+
+// mustNew builds the placement container without running placement.
+func mustNew(nl *netlist.Netlist) *Placement {
+	p, err := newPlacement(nl, 0.7)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func newStream(seed int64) *stats.Stream { return stats.DeriveStream(seed, "test") }
+
+var _ = testing.Short

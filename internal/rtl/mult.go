@@ -1,0 +1,81 @@
+package rtl
+
+import (
+	"fmt"
+
+	"vipipe/internal/netlist"
+)
+
+// ArrayMultiplier emits an unsigned carry-save array multiplier
+// computing the full (N+M)-bit product of x (N bits) times y (M bits).
+// The accumulator is kept in carry-save form (sum and carry vectors); a
+// 3:2 compression row folds in each partial product, and the final
+// carry-propagate add uses a carry-select adder so that the multiplier
+// stays off the execute-stage critical path (the paper's critical path
+// runs through a forwarding unit and an ALU, not the multiplier).
+func ArrayMultiplier(b *netlist.Builder, x, y netlist.Word) netlist.Word {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		panic(fmt.Sprintf("rtl: multiplier widths %dx%d", n, m))
+	}
+	width := n + m
+	zero := b.Const(false)
+
+	pad := func(w netlist.Word) netlist.Word {
+		out := make(netlist.Word, width)
+		for i := range out {
+			out[i] = zero
+		}
+		copy(out, w)
+		return out
+	}
+	// Row 0: accumulator = x * y0.
+	row := make(netlist.Word, n)
+	for i := 0; i < n; i++ {
+		row[i] = b.And(x[i], y[0])
+	}
+	sums := pad(row)
+	carries := pad(nil)
+
+	for j := 1; j < m; j++ {
+		// Partial product (x * yj) << j.
+		pp := pad(nil)
+		for i := 0; i < n; i++ {
+			pp[i+j] = b.And(x[i], y[j])
+		}
+		newS := pad(nil)
+		newC := pad(nil)
+		for p := 0; p < width; p++ {
+			s, c := compress3(b, zero, sums[p], carries[p], pp[p])
+			newS[p] = s
+			if p+1 < width && c != zero {
+				newC[p+1] = c
+			}
+		}
+		sums, carries = newS, newC
+	}
+	prod, _ := CarrySelectAdder(b, sums, carries, zero, 4)
+	return prod
+}
+
+// compress3 emits a 3:2 compressor (full adder) over three bits,
+// degenerating to cheaper structures when inputs are the shared
+// constant-zero net.
+func compress3(b *netlist.Builder, zero, a, c, d int) (sum, carry int) {
+	in := make([]int, 0, 3)
+	for _, v := range []int{a, c, d} {
+		if v != zero {
+			in = append(in, v)
+		}
+	}
+	switch len(in) {
+	case 0:
+		return zero, zero
+	case 1:
+		return in[0], zero
+	case 2:
+		return HalfAdder(b, in[0], in[1])
+	default:
+		return FullAdder(b, in[0], in[1], in[2])
+	}
+}

@@ -1,0 +1,112 @@
+package rtl
+
+import (
+	"fmt"
+
+	"vipipe/internal/netlist"
+)
+
+// MuxTree emits a word multiplexer selecting words[sel] with a
+// logarithmic tree of 2:1 muxes. len(words) must be a power of two and
+// sel must have exactly log2(len(words)) bits.
+func MuxTree(b *netlist.Builder, words []netlist.Word, sel netlist.Word) netlist.Word {
+	n := len(words)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("rtl: mux tree over %d words (need power of two)", n))
+	}
+	stages := 0
+	for 1<<stages < n {
+		stages++
+	}
+	if len(sel) != stages {
+		panic(fmt.Sprintf("rtl: mux tree needs %d select bits, got %d", stages, len(sel)))
+	}
+	level := make([]netlist.Word, n)
+	copy(level, words)
+	for k := 0; k < stages; k++ {
+		next := make([]netlist.Word, len(level)/2)
+		for i := range next {
+			next[i] = b.MuxWord(level[2*i], level[2*i+1], sel[k])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Decoder emits a full one-hot decoder of sel: output i is high when
+// sel == i. The result has 2^len(sel) lines.
+func Decoder(b *netlist.Builder, sel netlist.Word) []int {
+	n := 1 << len(sel)
+	// Precompute both polarities of every select bit.
+	pos := make([]int, len(sel))
+	neg := make([]int, len(sel))
+	for i, s := range sel {
+		pos[i] = s
+		neg[i] = b.Not(s)
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		terms := make([]int, len(sel))
+		for i := range sel {
+			if v>>uint(i)&1 == 1 {
+				terms[i] = pos[i]
+			} else {
+				terms[i] = neg[i]
+			}
+		}
+		out[v] = b.AndTree(terms)
+	}
+	return out
+}
+
+// OneHotMux emits an AND-OR multiplexer: out = OR_i (sel_i AND word_i).
+// Exactly one select line is expected to be high; with none high the
+// output is zero. Cheaper than a mux tree when the one-hot signals
+// already exist (e.g. decoded register-file word lines).
+func OneHotMux(b *netlist.Builder, sels []int, words []netlist.Word) netlist.Word {
+	if len(sels) != len(words) || len(sels) == 0 {
+		panic(fmt.Sprintf("rtl: one-hot mux %d sels vs %d words", len(sels), len(words)))
+	}
+	width := len(words[0])
+	out := make(netlist.Word, width)
+	for bit := 0; bit < width; bit++ {
+		terms := make([]int, len(sels))
+		for i := range sels {
+			if len(words[i]) != width {
+				panic("rtl: one-hot mux ragged words")
+			}
+			terms[i] = b.And(sels[i], words[i][bit])
+		}
+		out[bit] = b.OrTree(terms)
+	}
+	return out
+}
+
+// ZeroExtend widens x to width bits with constant zeros.
+func ZeroExtend(b *netlist.Builder, x netlist.Word, width int) netlist.Word {
+	if len(x) >= width {
+		return x[:width]
+	}
+	out := make(netlist.Word, width)
+	copy(out, x)
+	zero := b.Const(false)
+	for i := len(x); i < width; i++ {
+		out[i] = zero
+	}
+	return out
+}
+
+// SignExtend widens x to width bits replicating the sign bit.
+func SignExtend(b *netlist.Builder, x netlist.Word, width int) netlist.Word {
+	if len(x) >= width {
+		return x[:width]
+	}
+	out := make(netlist.Word, width)
+	copy(out, x)
+	s := MSB(x)
+	for i := len(x); i < width; i++ {
+		out[i] = s
+	}
+	_ = b
+	return out
+}

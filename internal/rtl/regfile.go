@@ -1,0 +1,85 @@
+package rtl
+
+import (
+	"fmt"
+
+	"vipipe/internal/netlist"
+)
+
+// WritePort describes one register-file write port.
+type WritePort struct {
+	Addr netlist.Word // register index
+	Data netlist.Word // value to write
+	En   int          // write enable net
+}
+
+// RegFileNets exposes the nets of a generated register file.
+type RegFileNets struct {
+	Read []netlist.Word // read data, one word per read port
+	Q    []netlist.Word // storage outputs per register (reg 0 is constant zero)
+}
+
+// RegisterFile emits a fully synthesized multi-ported register file:
+// nregs registers of the given width, one read data bus per read
+// address, and any number of write ports. Register 0 is hardwired to
+// zero (VEX convention). The paper synthesizes the register file as
+// standard cells too ("the design was fully synthesized, even the
+// register file"), which is why it dominates area (Table 1).
+//
+// Later write ports take priority on same-address writes.
+func RegisterFile(b *netlist.Builder, nregs, width int, readAddrs []netlist.Word, writes []WritePort) RegFileNets {
+	if nregs < 2 || nregs&(nregs-1) != 0 {
+		panic(fmt.Sprintf("rtl: register file size %d (need power of two >= 2)", nregs))
+	}
+	addrBits := 0
+	for 1<<addrBits < nregs {
+		addrBits++
+	}
+	for _, ra := range readAddrs {
+		if len(ra) != addrBits {
+			panic(fmt.Sprintf("rtl: read address width %d, want %d", len(ra), addrBits))
+		}
+	}
+
+	// Decode write addresses once per port and gate with the enable.
+	wordLine := make([][]int, len(writes)) // [port][reg]
+	for p, w := range writes {
+		if len(w.Addr) != addrBits {
+			panic(fmt.Sprintf("rtl: write address width %d, want %d", len(w.Addr), addrBits))
+		}
+		dec := Decoder(b, w.Addr)
+		wl := make([]int, nregs)
+		for r := range wl {
+			wl[r] = b.And(dec[r], w.En)
+		}
+		wordLine[p] = wl
+	}
+
+	// Storage: register 0 is constant zero.
+	zero := b.Const(false)
+	regQ := make([]netlist.Word, nregs)
+	regQ[0] = netlist.FanWord(zero, width)
+	for r := 1; r < nregs; r++ {
+		q := make(netlist.Word, width)
+		// Build D for each bit: hold value unless some port writes.
+		// The D expression needs the Q net, so the flop is created
+		// on a placeholder input first and rewired once D exists.
+		for bit := 0; bit < width; bit++ {
+			qNet := b.DFF(zero)
+			d := qNet
+			for p := range writes {
+				d = b.Mux(d, writes[p].Data[bit], wordLine[p][r])
+			}
+			b.NL.RewireInput(b.NL.Nets[qNet].Driver, 0, d)
+			q[bit] = qNet
+		}
+		regQ[r] = q
+	}
+
+	// Read ports: mux tree over all registers.
+	out := make([]netlist.Word, len(readAddrs))
+	for i, ra := range readAddrs {
+		out[i] = MuxTree(b, regQ, ra)
+	}
+	return RegFileNets{Read: out, Q: regQ}
+}

@@ -1,0 +1,290 @@
+// Package sdf reads and writes a Standard Delay Format (SDF 2.1)
+// subset: per-instance IOPATH delays. The paper's flow moves delays
+// between tools this way — "standard file formats do exist to transfer
+// delay information between tools" — and its variability injection is
+// literally an SDF rewriter: export nominal delays, scale them with
+// the process-variation model, re-import for timing analysis. This
+// package supports exactly that round trip.
+package sdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vipipe/internal/netlist"
+)
+
+// File is a parsed SDF subset.
+type File struct {
+	Design      string
+	TimescalePS float64
+	// DelaysPS maps instance name to its IOPATH delay.
+	DelaysPS map[string]float64
+}
+
+// Write emits an SDF file with one IOPATH entry per instance. delaysPS
+// must hold one delay per netlist instance (e.g. sta.BaseDelay values,
+// possibly pre-scaled by a variation model).
+func Write(w io.Writer, nl *netlist.Netlist, delaysPS []float64) error {
+	if len(delaysPS) != nl.NumCells() {
+		return fmt.Errorf("sdf: %d delays for %d instances", len(delaysPS), nl.NumCells())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(DELAYFILE\n")
+	fmt.Fprintf(bw, "  (SDFVERSION \"2.1\")\n")
+	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", nl.Name)
+	fmt.Fprintf(bw, "  (TIMESCALE 1ps)\n")
+	for i := range nl.Insts {
+		inst := &nl.Insts[i]
+		c := nl.Cell(i)
+		d := delaysPS[i]
+		fmt.Fprintf(bw, "  (CELL (CELLTYPE \"%s\") (INSTANCE %s)\n", c.Name, escape(inst.Name))
+		fmt.Fprintf(bw, "    (DELAY (ABSOLUTE (IOPATH * Z (%.3f:%.3f:%.3f))))\n  )\n", d, d, d)
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+// escape protects SDF-special characters in hierarchical names.
+func escape(name string) string {
+	r := strings.NewReplacer("(", `\(`, ")", `\)`, " ", `\ `)
+	return r.Replace(name)
+}
+
+func unescape(name string) string {
+	r := strings.NewReplacer(`\(`, "(", `\)`, ")", `\ `, " ")
+	return r.Replace(name)
+}
+
+// Parse reads the SDF subset produced by Write (tolerating arbitrary
+// whitespace). Unknown constructs inside CELL entries are skipped.
+func Parse(r io.Reader) (*File, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{TimescalePS: 1, DelaysPS: make(map[string]float64)}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if kw := p.next(); kw != "DELAYFILE" {
+		return nil, fmt.Errorf("sdf: expected DELAYFILE, got %q", kw)
+	}
+	for {
+		t := p.next()
+		switch t {
+		case "":
+			return nil, fmt.Errorf("sdf: unexpected end of file")
+		case ")":
+			return f, nil
+		case "(":
+			kw := p.next()
+			switch kw {
+			case "DESIGN":
+				f.Design = strings.Trim(p.next(), `"`)
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			case "TIMESCALE":
+				scale := p.next()
+				ps, err := parseTimescale(scale)
+				if err != nil {
+					return nil, err
+				}
+				f.TimescalePS = ps
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			case "CELL":
+				name, delay, err := p.parseCell()
+				if err != nil {
+					return nil, err
+				}
+				if name != "" {
+					f.DelaysPS[name] = delay * f.TimescalePS
+				}
+			default:
+				p.skipBalanced(1)
+			}
+		default:
+			return nil, fmt.Errorf("sdf: unexpected token %q", t)
+		}
+	}
+}
+
+func parseTimescale(s string) (float64, error) {
+	s = strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(s, "ps"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ps"), 64)
+		return v, err
+	case strings.HasSuffix(s, "ns"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ns"), 64)
+		return v * 1000, err
+	default:
+		return 0, fmt.Errorf("sdf: unsupported timescale %q", s)
+	}
+}
+
+// Scales converts parsed absolute delays into the per-instance
+// multiplicative factors used by the timing engine, dividing each
+// instance's SDF delay by its nominal delay. Instances absent from the
+// file keep scale 1.
+func (f *File) Scales(nl *netlist.Netlist, nominalPS func(i int) float64) ([]float64, error) {
+	byName := make(map[string]int, nl.NumCells())
+	for i := range nl.Insts {
+		byName[nl.Insts[i].Name] = i
+	}
+	out := make([]float64, nl.NumCells())
+	for i := range out {
+		out[i] = 1
+	}
+	for name, d := range f.DelaysPS {
+		i, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("sdf: instance %q not in netlist", name)
+		}
+		nom := nominalPS(i)
+		if nom > 0 {
+			out[i] = d / nom
+		}
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) next() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("sdf: expected %q, got %q", t, got)
+	}
+	return nil
+}
+
+// skipBalanced consumes tokens until depth parens are closed.
+func (p *parser) skipBalanced(depth int) {
+	for depth > 0 {
+		switch p.next() {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		case "":
+			return
+		}
+	}
+}
+
+// parseCell handles one (CELL ...) entry, returning the instance name
+// and its IOPATH delay.
+func (p *parser) parseCell() (string, float64, error) {
+	name := ""
+	delay := 0.0
+	for {
+		switch t := p.next(); t {
+		case ")":
+			return name, delay, nil
+		case "(":
+			switch kw := p.next(); kw {
+			case "INSTANCE":
+				name = unescape(p.next())
+				if err := p.expect(")"); err != nil {
+					return "", 0, err
+				}
+			case "DELAY":
+				d, err := p.parseDelay()
+				if err != nil {
+					return "", 0, err
+				}
+				delay = d
+			default: // CELLTYPE and friends
+				p.skipBalanced(1)
+			}
+		case "":
+			return "", 0, fmt.Errorf("sdf: unexpected EOF in CELL")
+		}
+	}
+}
+
+// parseDelay handles (ABSOLUTE (IOPATH * Z (d:d:d))), cursor just past
+// "DELAY".
+func (p *parser) parseDelay() (float64, error) {
+	delay := 0.0
+	depth := 1
+	for depth > 0 {
+		t := p.next()
+		switch t {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		case "":
+			return 0, fmt.Errorf("sdf: unexpected EOF in DELAY")
+		default:
+			if strings.Contains(t, ":") {
+				parts := strings.Split(t, ":")
+				v, err := strconv.ParseFloat(parts[len(parts)-1], 64)
+				if err != nil {
+					return 0, fmt.Errorf("sdf: bad delay triple %q", t)
+				}
+				delay = v
+			}
+		}
+	}
+	return delay, nil
+}
+
+// tokenize splits the input into parens and atoms, honoring escapes.
+func tokenize(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for {
+		ch, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ch {
+		case '\\':
+			nxt, _, err := br.ReadRune()
+			if err != nil {
+				return nil, fmt.Errorf("sdf: trailing escape")
+			}
+			cur.WriteRune('\\')
+			cur.WriteRune(nxt)
+		case '(', ')':
+			flush()
+			toks = append(toks, string(ch))
+		case ' ', '\t', '\n', '\r':
+			flush()
+		default:
+			cur.WriteRune(ch)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sdf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+	"vipipe/internal/sta"
+)
+
+func fixture(t *testing.T) (*netlist.Netlist, *sta.Analyzer) {
+	t.Helper()
+	b := netlist.NewBuilder("sdftest", cell.Default65nm())
+	x := b.InputWord("x", 4)
+	y := b.InputWord("y", 4)
+	var nets []int
+	for i := range x {
+		nets = append(nets, b.Xor(x[i], y[i]))
+	}
+	s := b.AndTree(nets)
+	b.DFF(s)
+	pl, err := place.Global(b.NL, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sta.New(b.NL, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.NL, a
+}
+
+func TestRoundTrip(t *testing.T) {
+	nl, a := fixture(t)
+	delays := make([]float64, nl.NumCells())
+	for i := range delays {
+		delays[i] = a.BaseDelay(i) * 1.25 // pretend variation
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, delays); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Design != "sdftest" {
+		t.Errorf("design = %q", f.Design)
+	}
+	if len(f.DelaysPS) != nl.NumCells() {
+		t.Fatalf("parsed %d delays, want %d", len(f.DelaysPS), nl.NumCells())
+	}
+	scales, err := f.Scales(nl, a.BaseDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scales {
+		if math.Abs(s-1.25) > 1e-3 {
+			t.Fatalf("scale[%d] = %g, want 1.25", i, s)
+		}
+	}
+}
+
+func TestWriteRejectsLengthMismatch(t *testing.T) {
+	nl, _ := fixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, []float64{1}); err == nil {
+		t.Error("mismatched delays accepted")
+	}
+}
+
+func TestParseTimescaleNS(t *testing.T) {
+	src := `(DELAYFILE (SDFVERSION "2.1") (DESIGN "d") (TIMESCALE 1ns)
+	  (CELL (CELLTYPE "INV") (INSTANCE u1)
+	    (DELAY (ABSOLUTE (IOPATH * Z (0.5:0.5:0.5)))))
+	)`
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.DelaysPS["u1"]; math.Abs(got-500) > 1e-9 {
+		t.Errorf("delay = %g ps, want 500", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(NOTDELAYFILE)",
+		"(DELAYFILE (CELL (INSTANCE u1)",  // EOF inside cell
+		"(DELAYFILE (TIMESCALE 1parsec))", // bad unit
+		`(DELAYFILE (CELL (DELAY (ABSOLUTE (IOPATH * Z (x:y:z))))))`, // bad triple
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestScalesRejectsUnknownInstance(t *testing.T) {
+	nl, a := fixture(t)
+	f := &File{DelaysPS: map[string]float64{"nonexistent": 5}}
+	if _, err := f.Scales(nl, a.BaseDelay); err == nil {
+		t.Error("unknown instance accepted")
+	}
+}
+
+func TestEscapedNamesSurvive(t *testing.T) {
+	nl, a := fixture(t)
+	nl.Insts[0].Name = "weird (name) with space"
+	delays := make([]float64, nl.NumCells())
+	for i := range delays {
+		delays[i] = a.BaseDelay(i)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, delays); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.DelaysPS["weird (name) with space"]; !ok {
+		t.Errorf("escaped name lost; have %d names", len(f.DelaysPS))
+	}
+}
+
+// The paper's variability-injection loop: write nominal SDF, scale,
+// re-import, and verify the timing engine sees the scaled delays.
+func TestVariationInjectionRoundTrip(t *testing.T) {
+	nl, a := fixture(t)
+	nomCrit := a.Run(1e6, nil).CritPS
+	delays := make([]float64, nl.NumCells())
+	for i := range delays {
+		delays[i] = a.BaseDelay(i) * 1.10
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, delays); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales, err := f.Scales(nl, a.BaseDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := a.Run(1e6, scales).CritPS
+	// Cell delays scaled 1.1, wire delays unscaled: the critical
+	// path grows by slightly less than 10%.
+	if crit <= nomCrit || crit > nomCrit*1.101 {
+		t.Errorf("scaled crit %g vs nominal %g", crit, nomCrit)
+	}
+}

@@ -1,0 +1,561 @@
+// Package vex builds the gate-level netlist of the paper's target
+// design: a VEX-like 4-stage, multi-slot VLIW processor core. It
+// substitutes for the LISATek-generated RTL plus Synopsys logic
+// synthesis of the paper: the core is emitted directly as a mapped
+// netlist with pipeline-stage and functional-unit tags.
+//
+// Microarchitecture (Section 4.2 of the paper):
+//
+//   - 4 pipeline stages: fetch, decode, execute, write-back.
+//   - Configurable issue width; each execute slot has an ALU with a
+//     shifter in series (shift-and-accumulate structure), a compare
+//     unit checking ALU-result flags, an address-computation adder for
+//     loads/stores, and a multiplier in parallel.
+//   - Two forwarding units for read-after-write hazards: one in the
+//     decode stage (register-file read bypass from write-back) and one
+//     in the execute stage (operand forwarding from the EX/WB pipeline
+//     register, including load data).
+//   - Branch unit in the decode stage with static predict-not-taken;
+//     a taken branch kills exactly the one wrong-path fetch.
+//   - The register file is fully synthesized from standard cells, so
+//     it dominates the area breakdown as in the paper's Table 1.
+//   - Program and data memories are behavioral single-cycle devices
+//     outside the netlist (as in the paper); the core exposes fetch
+//     and load/store interfaces as primary inputs/outputs.
+//
+// Exposed-pipeline constraint (VLIW-style, resolved by the compiler in
+// the paper's toolchain): a branch condition register must be produced
+// at least two bundles before the branch that reads it; all other
+// read-after-write dependences are fully forwarded.
+package vex
+
+import (
+	"fmt"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/isa"
+	"vipipe/internal/netlist"
+	"vipipe/internal/rtl"
+)
+
+// Config selects the core geometry.
+type Config struct {
+	Width  int // data-path width in bits (even, power of two >= 8)
+	Regs   int // number of architectural registers (power of two, 2..32)
+	Slots  int // issue width
+	PCBits int // program counter width (program memory holds 2^PCBits bundles)
+}
+
+// DefaultConfig is the paper's target: a 32-bit 4-issue core
+// ("4 parallel slots were instantiated in the execution stage").
+func DefaultConfig() Config {
+	return Config{Width: 32, Regs: 32, Slots: 4, PCBits: 10}
+}
+
+// SmallConfig is a reduced core for fast tests: 8-bit, 2-issue,
+// 16 registers.
+func SmallConfig() Config {
+	return Config{Width: 8, Regs: 16, Slots: 2, PCBits: 6}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 8 || c.Width&(c.Width-1) != 0:
+		return fmt.Errorf("vex: width %d must be a power of two >= 8", c.Width)
+	case c.Regs < 2 || c.Regs > 32 || c.Regs&(c.Regs-1) != 0:
+		return fmt.Errorf("vex: %d registers (need power of two in [2,32])", c.Regs)
+	case c.Slots < 1 || c.Slots > 8:
+		return fmt.Errorf("vex: %d slots out of range [1,8]", c.Slots)
+	case c.PCBits < 2 || c.PCBits > 16:
+		return fmt.Errorf("vex: PC width %d out of range [2,16]", c.PCBits)
+	}
+	return nil
+}
+
+// RegBits returns the register-index width used by the hardware.
+func (c Config) RegBits() int {
+	n := 0
+	for 1<<n < c.Regs {
+		n++
+	}
+	return n
+}
+
+// AmtBits returns the shift-amount width, log2(Width).
+func (c Config) AmtBits() int {
+	n := 0
+	for 1<<n < c.Width {
+		n++
+	}
+	return n
+}
+
+// Core is the built processor netlist plus its interface nets.
+type Core struct {
+	Cfg Config
+	NL  *netlist.Netlist
+
+	// Fetch interface: the testbench drives InstrIn with the program
+	// word at address PCOut every cycle.
+	PCOut   netlist.Word   // primary output: fetch address
+	InstrIn []netlist.Word // primary input per slot: 32-bit operation
+
+	// Data-memory interface, valid during the write-back stage of
+	// each memory operation. The testbench applies stores and then
+	// supplies LoadData = mem[AddrOut] in the same cycle.
+	AddrOut   []netlist.Word // per slot: effective address
+	StDataOut []netlist.Word // per slot: store data
+	StEnOut   []int          // per slot: store enable
+	LdEnOut   []int          // per slot: load pending
+	LoadData  []netlist.Word // primary input per slot: load result
+
+	// RegQ exposes register-file storage nets for verification:
+	// RegQ[r] is the Q bus of architectural register r.
+	RegQ []netlist.Word
+}
+
+// Build constructs the core netlist over the given library.
+func Build(cfg Config, lib *cell.Library) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		cfg: cfg,
+		b:   netlist.NewBuilder("vexcore", lib),
+	}
+	core := g.build()
+	if err := core.NL.Validate(); err != nil {
+		return nil, fmt.Errorf("vex: built netlist invalid: %w", err)
+	}
+	return core, nil
+}
+
+// gen carries construction state.
+type gen struct {
+	cfg Config
+	b   *netlist.Builder
+}
+
+// lateWord creates a register bank whose D inputs are bound later:
+// it returns the Q bus and a setter that rewires each flop to its
+// real data net.
+func (g *gen) lateWord(width int) (q netlist.Word, bind func(d netlist.Word)) {
+	ph := g.b.Const(false)
+	q = g.b.DFFWord(netlist.FanWord(ph, width))
+	return q, func(d netlist.Word) {
+		if len(d) != width {
+			panic(fmt.Sprintf("vex: late bind width %d != %d", len(d), width))
+		}
+		for i, qn := range q {
+			g.b.NL.RewireInput(g.b.NL.Nets[qn].Driver, 0, d[i])
+		}
+	}
+}
+
+// lateBit is lateWord for a single flop.
+func (g *gen) lateBit() (q int, bind func(d int)) {
+	ph := g.b.Const(false)
+	qn := g.b.DFF(ph)
+	return qn, func(d int) {
+		g.b.NL.RewireInput(g.b.NL.Nets[qn].Driver, 0, d)
+	}
+}
+
+// slotCtl is the decoded control word of one slot, registered into
+// the D/E pipeline register.
+type slotCtl struct {
+	valA, valB netlist.Word // operand values after decode bypass
+	memOff     netlist.Word // sign-extended load/store offset
+	ra, rb, rd netlist.Word // register indices
+	writesReg  int          // rd written and rd != 0
+	readsRb    int          // operand B is a register (forwardable)
+	selAddSub  int
+	selAnd     int
+	selOr      int
+	selXor     int
+	selShift   int
+	shRight    int
+	shArith    int
+	selCmp     int
+	cmpEq      int
+	cmpLt      int
+	cmpLtu     int
+	selMult    int
+	aluSub     int
+	isLoad     int
+	isStore    int
+}
+
+func (g *gen) build() *Core {
+	b := g.b
+	cfg := g.cfg
+	W, RB, PCB := cfg.Width, cfg.RegBits(), cfg.PCBits
+
+	core := &Core{Cfg: cfg, NL: b.NL}
+
+	// ------------------------------------------------------------
+	// Fetch stage: PC register, incrementer, branch redirect mux.
+	// ------------------------------------------------------------
+	restore := b.Scope(netlist.StageFetch, "fetch")
+	pcQ, bindPC := g.lateWord(PCB)
+	pcPlus1, _ := rtl.Incrementer(b, pcQ)
+	core.PCOut = pcQ
+	b.OutputWord(pcQ)
+	restore()
+
+	// Instruction-word primary inputs, one 32-bit op per slot.
+	core.InstrIn = make([]netlist.Word, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		core.InstrIn[s] = b.InputWord(fmt.Sprintf("instr%d", s), 32)
+	}
+
+	// F/D pipeline register: instruction words, bundle PC, valid.
+	restore = b.Scope(netlist.StageFetch, "piperegs/fd")
+	fdInstr := make([]netlist.Word, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		fdInstr[s] = b.DFFWord(core.InstrIn[s])
+	}
+	fdPC := b.DFFWord(pcQ)
+	fdValid, bindFDValid := g.lateBit()
+	restore()
+
+	// ------------------------------------------------------------
+	// Write-back placeholders: the decode bypass and the register
+	// file consume the WB write ports before they exist.
+	// ------------------------------------------------------------
+	wbAddrPH := make([]netlist.Word, cfg.Slots)
+	wbDataPH := make([]netlist.Word, cfg.Slots)
+	wbEnPH := make([]int, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		wbAddrPH[s] = make(netlist.Word, RB)
+		for i := range wbAddrPH[s] {
+			wbAddrPH[s][i] = b.NL.AddNet(fmt.Sprintf("ph/wbaddr%d[%d]", s, i))
+		}
+		wbDataPH[s] = make(netlist.Word, W)
+		for i := range wbDataPH[s] {
+			wbDataPH[s][i] = b.NL.AddNet(fmt.Sprintf("ph/wbdata%d[%d]", s, i))
+		}
+		wbEnPH[s] = b.NL.AddNet(fmt.Sprintf("ph/wben%d", s))
+	}
+
+	// ------------------------------------------------------------
+	// Register file: 2 read ports per slot, 1 write port per slot.
+	// ------------------------------------------------------------
+	restore = b.Scope(netlist.StageWriteback, "regfile")
+	readAddrs := make([]netlist.Word, 2*cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		readAddrs[2*s] = fdInstr[s][17 : 17+RB]   // ra field
+		readAddrs[2*s+1] = fdInstr[s][12 : 12+RB] // rb field
+	}
+	writePorts := make([]rtl.WritePort, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		writePorts[s] = rtl.WritePort{Addr: wbAddrPH[s], Data: wbDataPH[s], En: wbEnPH[s]}
+	}
+	rf := rtl.RegisterFile(b, cfg.Regs, W, readAddrs, writePorts)
+	core.RegQ = rf.Q
+	restore()
+
+	// ------------------------------------------------------------
+	// Decode stage: control decode, bypass (forwarding unit B),
+	// operand selection, branch unit.
+	// ------------------------------------------------------------
+	ctls := make([]slotCtl, cfg.Slots)
+	var brTaken int
+	var brTarget netlist.Word
+	for s := 0; s < cfg.Slots; s++ {
+		restore = b.Scope(netlist.StageDecode, fmt.Sprintf("decode/slot%d", s))
+		iw := fdInstr[s]
+		opcode := iw[27:32]
+		lines := rtl.Decoder(b, opcode)
+		line := func(op isa.Op) int { return lines[int(op)] }
+		orOf := func(ops ...isa.Op) int {
+			ns := make([]int, len(ops))
+			for i, op := range ops {
+				ns[i] = line(op)
+			}
+			return b.OrTree(ns)
+		}
+
+		c := &ctls[s]
+		c.ra = iw[17 : 17+RB]
+		c.rb = iw[12 : 12+RB]
+		c.rd = iw[22 : 22+RB]
+		writes := orOf(isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+			isa.SLL, isa.SRL, isa.SRA, isa.CMPEQ, isa.CMPLT, isa.CMPLTU,
+			isa.MPYLU, isa.ADDI, isa.ANDI, isa.ORI, isa.LD)
+		rdNonZero := b.OrTree(c.rd)
+		c.writesReg = b.And(writes, rdNonZero)
+		c.readsRb = orOf(isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+			isa.SLL, isa.SRL, isa.SRA, isa.CMPEQ, isa.CMPLT, isa.CMPLTU,
+			isa.MPYLU, isa.ST)
+		immSext := line(isa.ADDI)
+		immZext := orOf(isa.ANDI, isa.ORI)
+		c.selAddSub = orOf(isa.ADD, isa.SUB, isa.ADDI)
+		c.selAnd = orOf(isa.AND, isa.ANDI)
+		c.selOr = orOf(isa.OR, isa.ORI)
+		c.selXor = line(isa.XOR)
+		c.selShift = orOf(isa.SLL, isa.SRL, isa.SRA)
+		c.shRight = orOf(isa.SRL, isa.SRA)
+		c.shArith = line(isa.SRA)
+		c.selCmp = orOf(isa.CMPEQ, isa.CMPLT, isa.CMPLTU)
+		c.cmpEq = line(isa.CMPEQ)
+		c.cmpLt = line(isa.CMPLT)
+		c.cmpLtu = line(isa.CMPLTU)
+		c.selMult = line(isa.MPYLU)
+		c.aluSub = orOf(isa.SUB, isa.CMPEQ, isa.CMPLT, isa.CMPLTU)
+		c.isLoad = line(isa.LD)
+		c.isStore = line(isa.ST)
+		restore()
+
+		// Forwarding unit B: register-file read bypass from the
+		// write-back stage (the paper's second forwarding unit).
+		restore = b.Scope(netlist.StageDecode, "decode/bypass")
+		raVal := g.bypass(rf.Read[2*s], c.ra, wbAddrPH, wbDataPH, wbEnPH)
+		rbVal := g.bypass(rf.Read[2*s+1], c.rb, wbAddrPH, wbDataPH, wbEnPH)
+		restore()
+
+		restore = b.Scope(netlist.StageDecode, fmt.Sprintf("decode/slot%d", s))
+		sext16 := rtl.SignExtend(b, iw[0:16], W)
+		zext16 := rtl.ZeroExtend(b, iw[0:16], W)
+		vB := b.MuxWord(rbVal, sext16, immSext)
+		vB = b.MuxWord(vB, zext16, immZext)
+		c.valA = raVal
+		c.valB = vB
+		c.memOff = rtl.SignExtend(b, iw[0:12], W)
+		restore()
+
+		// Branch unit: slot 0 only, resolved in decode with static
+		// predict-not-taken (paper Section 4.2).
+		if s == 0 {
+			restore = b.Scope(netlist.StageDecode, "decode/branch")
+			z := rtl.IsZero(b, raVal)
+			takeEq := b.And(line(isa.BEQZ), z)
+			takeNe := b.And(line(isa.BNEZ), b.Not(z))
+			brTaken = b.And(fdValid, b.OrTree([]int{takeEq, takeNe, line(isa.GOTO)}))
+			off := rtl.SignExtend(b, iw[0:16], PCB)
+			brTarget, _ = rtl.RippleAdder(b, fdPC, off, b.Const(false))
+			restore()
+		}
+	}
+
+	// Close the fetch loop: next PC and wrong-path kill.
+	restore = b.Scope(netlist.StageFetch, "fetch")
+	pcNext := b.MuxWord(pcPlus1, brTarget, brTaken)
+	bindPC(pcNext)
+	bindFDValid(b.Not(brTaken))
+	restore()
+
+	// ------------------------------------------------------------
+	// D/E pipeline register.
+	// ------------------------------------------------------------
+	restore = b.Scope(netlist.StageDecode, "piperegs/de")
+	deValid := b.DFF(fdValid)
+	de := make([]slotCtl, cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		c, r := &ctls[s], &de[s]
+		r.valA = b.DFFWord(c.valA)
+		r.valB = b.DFFWord(c.valB)
+		r.memOff = b.DFFWord(c.memOff)
+		r.ra = b.DFFWord(c.ra)
+		r.rb = b.DFFWord(c.rb)
+		r.rd = b.DFFWord(c.rd)
+		bits := []*int{
+			&r.writesReg, &r.readsRb, &r.selAddSub, &r.selAnd, &r.selOr,
+			&r.selXor, &r.selShift, &r.shRight, &r.shArith, &r.selCmp,
+			&r.cmpEq, &r.cmpLt, &r.cmpLtu, &r.selMult, &r.aluSub,
+			&r.isLoad, &r.isStore,
+		}
+		src := []*int{
+			&c.writesReg, &c.readsRb, &c.selAddSub, &c.selAnd, &c.selOr,
+			&c.selXor, &c.selShift, &c.shRight, &c.shArith, &c.selCmp,
+			&c.cmpEq, &c.cmpLt, &c.cmpLtu, &c.selMult, &c.aluSub,
+			&c.isLoad, &c.isStore,
+		}
+		for i := range bits {
+			*bits[i] = b.DFF(*src[i])
+		}
+	}
+	restore()
+
+	// ------------------------------------------------------------
+	// E/W pipeline register (created first on placeholders so the
+	// execute-stage forwarding unit can read it).
+	// ------------------------------------------------------------
+	restore = b.Scope(netlist.StageExecute, "piperegs/ew")
+	type ewRegs struct {
+		result, addr, stData netlist.Word
+		rd                   netlist.Word
+		writes               int
+		isLoad, isStore      int
+	}
+	ew := make([]ewRegs, cfg.Slots)
+	binds := make([]func(result, addr, stData netlist.Word, writes, isLoad, isStore int), cfg.Slots)
+	for s := 0; s < cfg.Slots; s++ {
+		var bindRes, bindAddr, bindSt func(netlist.Word)
+		var bindW, bindL, bindS func(int)
+		ew[s].result, bindRes = g.lateWord(W)
+		ew[s].addr, bindAddr = g.lateWord(W)
+		ew[s].stData, bindSt = g.lateWord(W)
+		ew[s].writes, bindW = g.lateBit()
+		ew[s].isLoad, bindL = g.lateBit()
+		ew[s].isStore, bindS = g.lateBit()
+		binds[s] = func(result, addr, stData netlist.Word, writes, isLoad, isStore int) {
+			bindRes(result)
+			bindAddr(addr)
+			bindSt(stData)
+			bindW(writes)
+			bindL(isLoad)
+			bindS(isStore)
+		}
+		// rd can be bound immediately: its source is a D/E output.
+		ew[s].rd = b.DFFWord(de[s].rd)
+	}
+	restore()
+
+	// ------------------------------------------------------------
+	// Write-back stage: load/result selection, register write,
+	// memory interface.
+	// ------------------------------------------------------------
+	core.LoadData = make([]netlist.Word, cfg.Slots)
+	core.AddrOut = make([]netlist.Word, cfg.Slots)
+	core.StDataOut = make([]netlist.Word, cfg.Slots)
+	core.StEnOut = make([]int, cfg.Slots)
+	core.LdEnOut = make([]int, cfg.Slots)
+	wbData := make([]netlist.Word, cfg.Slots)
+	restore = b.Scope(netlist.StageWriteback, "writeback")
+	for s := 0; s < cfg.Slots; s++ {
+		core.LoadData[s] = b.InputWord(fmt.Sprintf("loaddata%d", s), W)
+		wbData[s] = b.MuxWord(ew[s].result, core.LoadData[s], ew[s].isLoad)
+		core.AddrOut[s] = ew[s].addr
+		core.StDataOut[s] = ew[s].stData
+		core.StEnOut[s] = ew[s].isStore
+		core.LdEnOut[s] = ew[s].isLoad
+		b.OutputWord(ew[s].addr)
+		b.OutputWord(ew[s].stData)
+		b.Output(ew[s].isStore)
+		b.Output(ew[s].isLoad)
+	}
+	restore()
+
+	// Resolve the write-back placeholders.
+	for s := 0; s < cfg.Slots; s++ {
+		for i := 0; i < RB; i++ {
+			b.NL.ReplaceNetSinks(wbAddrPH[s][i], ew[s].rd[i])
+		}
+		for i := 0; i < W; i++ {
+			b.NL.ReplaceNetSinks(wbDataPH[s][i], wbData[s][i])
+		}
+		b.NL.ReplaceNetSinks(wbEnPH[s], ew[s].writes)
+	}
+
+	// ------------------------------------------------------------
+	// Execute stage.
+	// ------------------------------------------------------------
+	for s := 0; s < cfg.Slots; s++ {
+		r := &de[s]
+
+		// Forwarding unit A: operand forwarding from the EX/WB
+		// pipeline register (the paper's first forwarding unit, on
+		// the critical path together with the ALU).
+		restore = b.Scope(netlist.StageExecute, "execute/fwd")
+		valA := r.valA
+		valB := r.valB
+		for p := 0; p < cfg.Slots; p++ {
+			matchA := b.And(rtl.Equal(b, r.ra, ew[p].rd), ew[p].writes)
+			valA = b.MuxWord(valA, wbData[p], matchA)
+			matchB := b.And(b.And(rtl.Equal(b, r.rb, ew[p].rd), ew[p].writes), r.readsRb)
+			valB = b.MuxWord(valB, wbData[p], matchB)
+		}
+		restore()
+
+		unit := func(sub string) func() {
+			return b.Scope(netlist.StageExecute, fmt.Sprintf("execute/slot%d/%s", s, sub))
+		}
+
+		// ALU with the shifter in series (paper: "an ALU, with a
+		// shifter in series to it for shift and accumulate
+		// instructions").
+		restore = unit("alu")
+		notShift := b.Not(r.selShift)
+		bGate := make(netlist.Word, W)
+		for i := 0; i < W; i++ {
+			bGate[i] = b.And(valB[i], notShift)
+		}
+		aluOut, cout := rtl.AddSub(b, valA, bGate, r.aluSub)
+		restore()
+
+		restore = unit("shift")
+		fill := b.And(r.shArith, rtl.MSB(aluOut))
+		shifted := rtl.ShifterDyn(b, aluOut, valB[:cfg.AmtBits()], r.shRight, fill)
+		restore()
+
+		// Compare unit on ALU-result flags (paper: "a compare unit
+		// checking MSB bits of ALU results").
+		restore = unit("cmp")
+		eq := rtl.IsZero(b, aluOut)
+		ltu := b.Not(cout)
+		n := rtl.MSB(aluOut)
+		xs, ys := rtl.MSB(valA), rtl.MSB(bGate)
+		lt := b.Xor(n, b.And(b.Xor(xs, ys), b.Xor(n, xs)))
+		cmpBit := b.OrTree([]int{
+			b.And(r.cmpEq, eq), b.And(r.cmpLt, lt), b.And(r.cmpLtu, ltu),
+		})
+		cmpW := rtl.ZeroExtend(b, netlist.Word{cmpBit}, W)
+		restore()
+
+		// Address-computation unit for loads and stores.
+		restore = unit("addr")
+		addr, _ := rtl.RippleAdder(b, valA, r.memOff, b.Const(false))
+		restore()
+
+		// Multiplier in parallel with the other units, with operand
+		// isolation: the array only sees non-zero operands on actual
+		// multiply operations, so idle slots do not toggle it (a
+		// standard low-power measure; without it the multiplier
+		// array dominates dynamic power).
+		restore = unit("mult")
+		half := W / 2
+		multA := make(netlist.Word, half)
+		multB := make(netlist.Word, half)
+		for i := 0; i < half; i++ {
+			multA[i] = b.And(valA[i], r.selMult)
+			multB[i] = b.And(valB[i], r.selMult)
+		}
+		prod := rtl.ArrayMultiplier(b, multA, multB)
+		restore()
+
+		// Result selection.
+		restore = unit("res")
+		andW := b.AndWord(valA, valB)
+		orW := b.OrWord(valA, valB)
+		xorW := b.XorWord(valA, valB)
+		result := rtl.OneHotMux(b,
+			[]int{r.selAddSub, r.selAnd, r.selOr, r.selXor, r.selShift, r.selCmp, r.selMult},
+			[]netlist.Word{aluOut, andW, orW, xorW, shifted, cmpW, prod})
+		writes := b.And(r.writesReg, deValid)
+		isLoad := b.And(r.isLoad, deValid)
+		isStore := b.And(r.isStore, deValid)
+		restore()
+
+		// Store data is the forwarded operand B (a store's value
+		// operand obeys the same forwarding rules as an ALU source).
+		binds[s](result, addr, valB, writes, isLoad, isStore)
+	}
+
+	return core
+}
+
+// bypass emits one read-port bypass network: the raw register-file
+// read value is overridden by any write-back slot writing the same
+// register this cycle (later slots take priority, matching the
+// register file's write-conflict rule).
+func (g *gen) bypass(raw netlist.Word, reg netlist.Word, wbAddr []netlist.Word, wbData []netlist.Word, wbEn []int) netlist.Word {
+	b := g.b
+	v := raw
+	for p := range wbAddr {
+		match := b.And(rtl.Equal(b, reg, wbAddr[p]), wbEn[p])
+		v = b.MuxWord(v, wbData[p], match)
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+package vex
+
+import (
+	"strings"
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SmallConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Width: 7, Regs: 8, Slots: 2, PCBits: 6},
+		{Width: 8, Regs: 3, Slots: 2, PCBits: 6},
+		{Width: 8, Regs: 64, Slots: 2, PCBits: 6},
+		{Width: 8, Regs: 8, Slots: 0, PCBits: 6},
+		{Width: 8, Regs: 8, Slots: 2, PCBits: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestConfigDerivedWidths(t *testing.T) {
+	c := DefaultConfig()
+	if c.RegBits() != 5 || c.AmtBits() != 5 {
+		t.Errorf("derived widths wrong: %d/%d", c.RegBits(), c.AmtBits())
+	}
+	s := SmallConfig()
+	if s.RegBits() != 4 || s.AmtBits() != 3 {
+		t.Errorf("small derived widths wrong: %d/%d", s.RegBits(), s.AmtBits())
+	}
+}
+
+func TestBuildSmallCoreValid(t *testing.T) {
+	core, err := Build(SmallConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.NL.NumCells() < 500 {
+		t.Errorf("suspiciously small core: %d cells", core.NL.NumCells())
+	}
+	if len(core.InstrIn) != 2 || len(core.LoadData) != 2 {
+		t.Error("interface shape wrong")
+	}
+	if len(core.RegQ) != 16 || len(core.RegQ[1]) != 8 {
+		t.Error("RegQ shape wrong")
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build(Config{Width: 5}, cell.Default65nm()); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestCoreStageAndUnitTags(t *testing.T) {
+	core, err := Build(SmallConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := core.NL.Stats()
+	units := make(map[string]bool)
+	for _, u := range stats.ByUnit {
+		units[u.Unit] = true
+	}
+	for _, want := range []string{"regfile", "execute", "decode", "fetch", "writeback", "piperegs"} {
+		if !units[want] {
+			t.Errorf("missing unit group %q (have %v)", want, stats.ByUnit)
+		}
+	}
+	// Every pipeline stage must own at least one flop endpoint.
+	haveStage := make(map[netlist.Stage]bool)
+	for i := range core.NL.Insts {
+		if core.NL.IsSequential(i) {
+			haveStage[core.NL.Insts[i].Stage] = true
+		}
+	}
+	for _, st := range []netlist.Stage{netlist.StageFetch, netlist.StageDecode, netlist.StageExecute, netlist.StageWriteback} {
+		if !haveStage[st] {
+			t.Errorf("no flop endpoints tagged %v", st)
+		}
+	}
+}
+
+func TestDefaultCoreTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size core build")
+	}
+	core, err := Build(DefaultConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := core.NL.Stats()
+	share := make(map[string]float64)
+	for _, u := range ds.ByUnit {
+		share[u.Unit] = u.AreaUM2 / ds.AreaUM2
+	}
+	// Paper Table 1 shape: the register file dominates area, the
+	// execute stage is second, fetch is negligible.
+	if share["regfile"] < 0.30 {
+		t.Errorf("regfile share %.2f, want dominant (paper: 0.53)", share["regfile"])
+	}
+	if ds.ByUnit[0].Unit != "regfile" {
+		t.Errorf("largest unit is %q, want regfile", ds.ByUnit[0].Unit)
+	}
+	if share["execute"] < 0.10 {
+		t.Errorf("execute share %.2f too small (paper: 0.26)", share["execute"])
+	}
+	if share["execute"] > share["regfile"] {
+		t.Error("execute outgrew the register file")
+	}
+	if share["fetch"] > 0.02 {
+		t.Errorf("fetch share %.3f, want negligible (paper: 0.0009)", share["fetch"])
+	}
+	if share["decode"] > share["execute"] {
+		t.Errorf("decode (%.2f) outgrew execute (%.2f)", share["decode"], share["execute"])
+	}
+}
+
+func TestUnitTagsAreHierarchical(t *testing.T) {
+	core, err := Build(SmallConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawFwd, sawAlu, sawMult, sawBypass bool
+	for i := range core.NL.Insts {
+		u := core.NL.Insts[i].Unit
+		switch {
+		case u == "execute/fwd":
+			sawFwd = true
+		case strings.HasSuffix(u, "/alu"):
+			sawAlu = true
+		case strings.HasSuffix(u, "/mult"):
+			sawMult = true
+		case u == "decode/bypass":
+			sawBypass = true
+		}
+	}
+	if !sawFwd || !sawAlu || !sawMult || !sawBypass {
+		t.Errorf("missing unit tags: fwd=%v alu=%v mult=%v bypass=%v", sawFwd, sawAlu, sawMult, sawBypass)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	lib := cell.Default65nm()
+	a, err := Build(SmallConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(SmallConfig(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NL.NumCells() != b.NL.NumCells() || a.NL.NumNets() != b.NL.NumNets() {
+		t.Fatal("core size differs across builds")
+	}
+	for i := range a.NL.Insts {
+		ia, ib := &a.NL.Insts[i], &b.NL.Insts[i]
+		if ia.Kind != ib.Kind || ia.Out != ib.Out || ia.Name != ib.Name {
+			t.Fatalf("instance %d differs: %+v vs %+v", i, ia, ib)
+		}
+		for p := range ia.Inputs {
+			if ia.Inputs[p] != ib.Inputs[p] {
+				t.Fatalf("instance %d pin %d differs", i, p)
+			}
+		}
+	}
+}

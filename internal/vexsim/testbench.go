@@ -1,0 +1,96 @@
+package vexsim
+
+import (
+	"fmt"
+
+	"vipipe/internal/gsim"
+	"vipipe/internal/vex"
+)
+
+// Testbench co-simulates a gate-level VEX core against behavioral
+// single-cycle program and data memories — the substitute for the
+// paper's Modelsim run. Each cycle it feeds the instruction bundle at
+// the core's fetch address, services the data-memory interface
+// (stores first in slot order, then loads), and clocks the netlist.
+// Per-net switching activity accumulates in the underlying simulator.
+type Testbench struct {
+	Core *vex.Core
+	Sim  *gsim.Simulator
+	Prog [][]uint32
+	DMem []uint64
+}
+
+// NewTestbench wires a built core to a program and an initial data
+// memory image (copied; may be nil).
+func NewTestbench(core *vex.Core, prog [][]uint32, dmem []uint64) (*Testbench, error) {
+	if len(prog) > 1<<core.Cfg.PCBits {
+		return nil, fmt.Errorf("vexsim: program of %d bundles exceeds 2^%d", len(prog), core.Cfg.PCBits)
+	}
+	for i, bnd := range prog {
+		if len(bnd) != core.Cfg.Slots {
+			return nil, fmt.Errorf("vexsim: bundle %d has %d ops, want %d", i, len(bnd), core.Cfg.Slots)
+		}
+	}
+	sim, err := gsim.New(core.NL)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Testbench{Core: core, Sim: sim, Prog: prog, DMem: make([]uint64, DMemWords)}
+	copy(tb.DMem, dmem)
+	return tb, nil
+}
+
+// Step runs one clock cycle of the netlist with memory servicing.
+func (tb *Testbench) Step() {
+	core, s := tb.Core, tb.Sim
+	mask := uint64(1)<<uint(core.Cfg.Width) - 1
+
+	// Settle combinational logic so the registered memory-interface
+	// outputs (PC, addresses, enables) reflect the current cycle.
+	s.Eval()
+
+	// Fetch service: program word at PC, NOPs beyond the program.
+	pc := s.Word(core.PCOut)
+	for slot, iw := range core.InstrIn {
+		var w uint64
+		if int(pc) < len(tb.Prog) {
+			w = uint64(tb.Prog[pc][slot])
+		}
+		s.SetPIWord(iw, w)
+	}
+
+	// Data-memory service: stores commit first in slot order, then
+	// loads observe the updated memory (same rule as the reference
+	// machine).
+	for slot := range core.StEnOut {
+		if s.Val(core.StEnOut[slot]) {
+			addr := s.Word(core.AddrOut[slot]) % DMemWords
+			tb.DMem[addr] = s.Word(core.StDataOut[slot]) & mask
+		}
+	}
+	for slot := range core.LdEnOut {
+		var data uint64
+		if s.Val(core.LdEnOut[slot]) {
+			data = tb.DMem[s.Word(core.AddrOut[slot])%DMemWords] & mask
+		}
+		s.SetPIWord(core.LoadData[slot], data)
+	}
+
+	s.Step()
+}
+
+// Run executes n cycles.
+func (tb *Testbench) Run(n int) {
+	for i := 0; i < n; i++ {
+		tb.Step()
+	}
+}
+
+// Reg reads architectural register r from the netlist state.
+func (tb *Testbench) Reg(r int) uint64 {
+	tb.Sim.Eval()
+	return tb.Sim.Word(tb.Core.RegQ[r])
+}
+
+// Activity returns the per-net switching activity collected so far.
+func (tb *Testbench) Activity() []float64 { return tb.Sim.Activity() }

@@ -1,0 +1,93 @@
+package vi
+
+import (
+	"fmt"
+	"strings"
+
+	"vipipe/internal/place"
+)
+
+// Render draws the partition as an ASCII floorplan in the spirit of
+// the paper's Fig. 4: each character cell shows the island index
+// (1-3) that dominates that bin, '.' for the always-low remainder,
+// and 'S' where level shifters concentrate (only after insertion).
+// cols sets the horizontal resolution; the vertical resolution follows
+// the die aspect ratio at terminal character proportions.
+func (p *Partition) Render(pl *place.Placement, cols int) string {
+	if cols < 8 {
+		cols = 8
+	}
+	rows := int(float64(cols) * pl.DieH / pl.DieW / 2.2)
+	if rows < 4 {
+		rows = 4
+	}
+	// Bin ownership by majority cell area per region.
+	type bin struct {
+		area    [5]float64 // index 0 = remainder, 1..3 islands, 4 unused
+		shifter float64
+	}
+	grid := make([][]bin, rows)
+	for r := range grid {
+		grid[r] = make([]bin, cols)
+	}
+	isShifter := make(map[int]bool, len(p.Shifters))
+	for _, s := range p.Shifters {
+		isShifter[s] = true
+	}
+	for i := 0; i < pl.NL.NumCells(); i++ {
+		x, y := pl.Center(i)
+		cx := int(x / pl.DieW * float64(cols))
+		cy := int(y / pl.DieH * float64(rows))
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		b := &grid[cy][cx]
+		a := pl.NL.Cell(i).AreaUM2
+		region := 0
+		if i < len(p.Region) && p.Region[i] != RegionNone {
+			region = int(p.Region[i])
+			if region > 3 {
+				region = 3
+			}
+		}
+		b.area[region] += a
+		if isShifter[i] {
+			b.shifter += a
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v slicing from %v: islands 1-3, '.' stays at low Vdd\n", p.Strategy, p.StartSide)
+	for r := rows - 1; r >= 0; r-- {
+		sb.WriteByte('|')
+		for c := 0; c < cols; c++ {
+			b := &grid[r][c]
+			best, bestA := 0, b.area[0]
+			for k := 1; k <= 3; k++ {
+				if b.area[k] > bestA {
+					best, bestA = k, b.area[k]
+				}
+			}
+			switch {
+			case bestA == 0:
+				sb.WriteByte(' ')
+			case b.shifter > bestA/3:
+				sb.WriteByte('S')
+			case best == 0:
+				sb.WriteByte('.')
+			default:
+				sb.WriteByte(byte('0' + best))
+			}
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

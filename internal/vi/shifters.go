@@ -1,0 +1,136 @@
+package vi
+
+import (
+	"fmt"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+)
+
+// InsertShifters splices level shifters into every net that can cross
+// from a low-Vdd to a high-Vdd domain in some violation scenario, and
+// incrementally places them (paper Section 4.6). With cumulative
+// islands — islands 1..k are high in scenario k — a net needs shifting
+// exactly when its driver's region index is larger than a sink's: for
+// any scenario between the two indices the driver is low while the
+// sink is high. Sinks are grouped per target region, one shifter per
+// (net, region). High-to-low crossings are left unshifted, as in the
+// paper ("we retain only the nets connecting low- to high-Vdd domains
+// ... to avoid the static power overhead").
+//
+// Primary-input nets (the behavioral memory interfaces) and
+// constant-generator outputs are exempt: memories live outside the
+// core in the paper's setup, and tie cells are domain-local.
+//
+// The placement is extended in place; each shifter lands at the
+// midpoint between the driver and the centroid of the sinks it serves,
+// snapped to the row grid.
+func (p *Partition) InsertShifters(pl *place.Placement) (int, error) {
+	nl := p.nl
+	if pl.NL != nl {
+		return 0, fmt.Errorf("vi: placement belongs to a different netlist")
+	}
+	if p.shiftersDone {
+		return 0, fmt.Errorf("vi: level shifters already inserted for this partition")
+	}
+	if len(p.Region) != nl.NumCells() {
+		return 0, fmt.Errorf("vi: partition covers %d of %d cells", len(p.Region), nl.NumCells())
+	}
+	p.shiftersDone = true
+	numNets := nl.NumNets() // snapshot: we append nets while iterating
+	inserted := 0
+	for n := 0; n < numNets; n++ {
+		net := &nl.Nets[n]
+		drv := net.Driver
+		if drv == netlist.NoInst || nl.Cell(drv).IsTie() {
+			continue
+		}
+		drvRegion := p.Region[drv]
+		// Group sinks needing a shifter by their region.
+		byRegion := make(map[int32][]netlist.Sink)
+		for _, s := range net.Sinks {
+			if p.Region[s.Inst] < drvRegion {
+				byRegion[p.Region[s.Inst]] = append(byRegion[p.Region[s.Inst]], s)
+			}
+		}
+		for region, sinks := range byRegion {
+			// Create the shifter fed by the original net. Its stage
+			// tag follows the driver so per-stage timing still
+			// groups sensibly; the unit tag marks it for Table 2
+			// accounting.
+			lsOut := nl.AddInst(cell.LvlShift,
+				fmt.Sprintf("ls/%s_r%d_n%d", p.Strategy, region, n),
+				nl.Insts[drv].Stage, "levelshift", n)
+			lsInst := nl.Nets[lsOut].Driver
+			for _, s := range sinks {
+				nl.RewireInput(s.Inst, s.Pin, lsOut)
+			}
+			p.Region = append(p.Region, region)
+			p.Shifters = append(p.Shifters, lsInst)
+			inserted++
+
+			// Incremental placement: midpoint of driver and served
+			// sinks.
+			dx, dy := pl.Center(drv)
+			sx, sy := 0.0, 0.0
+			for _, s := range sinks {
+				x, y := pl.Center(s.Inst)
+				sx += x
+				sy += y
+			}
+			sx /= float64(len(sinks))
+			sy /= float64(len(sinks))
+			pl.Extend()
+			pl.InsertAt(lsInst, (dx+sx)/2, (dy+sy)/2)
+		}
+	}
+	return inserted, nil
+}
+
+// CountCrossings returns the number of level shifters a region
+// assignment would need, without modifying the netlist: one per
+// (net, lower-region sink group) pair, with the same exemptions as
+// InsertShifters (primary inputs and tie cells). region holds one
+// entry per instance. Used to compare partitionings (e.g. the
+// placement-quality ablation) cheaply.
+func CountCrossings(nl *netlist.Netlist, region []int32) int {
+	count := 0
+	seen := make(map[int32]bool, 4)
+	for n := range nl.Nets {
+		drv := nl.Nets[n].Driver
+		if drv == netlist.NoInst || nl.Cell(drv).IsTie() {
+			continue
+		}
+		drvRegion := region[drv]
+		clear(seen)
+		for _, s := range nl.Nets[n].Sinks {
+			if r := region[s.Inst]; r < drvRegion && !seen[r] {
+				seen[r] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ShifterAreaUM2 returns the total level-shifter area.
+func (p *Partition) ShifterAreaUM2() float64 {
+	if len(p.Shifters) == 0 {
+		return 0
+	}
+	return float64(len(p.Shifters)) * p.nl.Lib.Cell(cell.LvlShift).AreaUM2
+}
+
+// ShifterAreaFrac returns the level-shifter share of the design's
+// logic area (Table 2, "LS area").
+func (p *Partition) ShifterAreaFrac() float64 {
+	total := 0.0
+	for i := range p.nl.Insts {
+		total += p.nl.Cell(i).AreaUM2
+	}
+	if total == 0 {
+		return 0
+	}
+	return p.ShifterAreaUM2() / total
+}

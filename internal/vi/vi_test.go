@@ -1,0 +1,437 @@
+package vi
+
+import (
+	"strings"
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/mc"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+	"vipipe/internal/sta"
+	"vipipe/internal/variation"
+	"vipipe/internal/vex"
+)
+
+type fixture struct {
+	core   *vex.Core
+	pl     *place.Placement
+	a      *sta.Analyzer
+	model  variation.Model
+	derate []float64
+	clock  float64
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	core, err := vex.Build(vex.SmallConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Global(core.NL, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sta.New(core.NL, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := a.Run(1e9, nil).CritPS * 1.001
+	derate := a.SlackRecovery(clock, sta.DefaultRecoveryTargets(), 12, 25)
+	return &fixture{core: core, pl: pl, a: a, model: variation.Default(), derate: derate, clock: clock}
+}
+
+// scenarioPositions returns C, B, A: least to most severe.
+func (f *fixture) scenarioPositions() []variation.Pos {
+	ps := f.model.DiagonalPositions()
+	return []variation.Pos{ps[2], ps[1], ps[0]}
+}
+
+func (f *fixture) generate(t *testing.T, strat Strategy) *Partition {
+	t.Helper()
+	p, err := Generate(f.a, &f.model, f.scenarioPositions(), Options{
+		Strategy: strat,
+		ClockPS:  f.clock,
+		Derate:   f.derate,
+		Samples:  40,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateValidation(t *testing.T) {
+	f := newFixture(t)
+	if _, err := Generate(f.a, &f.model, nil, Options{ClockPS: f.clock}); err == nil {
+		t.Error("no scenarios accepted")
+	}
+	if _, err := Generate(f.a, &f.model, f.scenarioPositions(), Options{}); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+func TestGenerateNestedIslands(t *testing.T) {
+	f := newFixture(t)
+	for _, strat := range []Strategy{Vertical, Horizontal} {
+		p := f.generate(t, strat)
+		if p.NumIslands() != 3 {
+			t.Fatalf("%v: %d islands, want 3", strat, p.NumIslands())
+		}
+		// Bands must be nested and non-overlapping.
+		prev := 0.0
+		total := 0
+		for k, isl := range p.Islands {
+			if isl.Index != k+1 {
+				t.Errorf("%v: island %d has index %d", strat, k, isl.Index)
+			}
+			if isl.FromUM != prev {
+				t.Errorf("%v: island %d starts at %g, want %g", strat, k+1, isl.FromUM, prev)
+			}
+			if isl.ToUM < isl.FromUM {
+				t.Errorf("%v: island %d inverted band", strat, k+1)
+			}
+			prev = isl.ToUM
+			total += len(isl.Cells)
+			if len(isl.Cells) == 0 {
+				t.Errorf("%v: island %d empty", strat, k+1)
+			}
+		}
+		// The most severe scenario may legitimately need the whole
+		// core boosted, but the earlier islands must be proper
+		// subsets so the nesting carries information.
+		if len(p.Islands[0].Cells)+len(p.Islands[1].Cells) >= f.core.NL.NumCells() {
+			t.Errorf("%v: islands 1+2 already cover the whole core", strat)
+		}
+		// Region consistency.
+		count := 0
+		for _, r := range p.Region {
+			if r != RegionNone {
+				count++
+			}
+		}
+		if count != total {
+			t.Errorf("%v: region map has %d island cells, want %d", strat, count, total)
+		}
+	}
+}
+
+func TestIslandsCompensateScenarios(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Vertical)
+	positions := f.scenarioPositions()
+	for k, pos := range positions {
+		domains := p.Domains(k + 1)
+		res, err := mc.Run(f.a, &f.model, pos, mc.Options{
+			Samples: 60, Seed: 10, ClockPS: f.clock, Derate: f.derate, Domains: domains,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The generator targets a 2-sigma margin with its own sample
+		// set; verify with a slightly looser bound on fresh samples.
+		for _, st := range mc.PipelineStages {
+			d := res.PerStage[st]
+			if d.Fit.Mu-1.7*d.Fit.Sigma < 0 {
+				t.Errorf("scenario %d at %s: stage %v not compensated (mu=%.0f sigma=%.0f)",
+					k+1, pos.Name, st, d.Fit.Mu, d.Fit.Sigma)
+			}
+		}
+	}
+}
+
+func TestFewerIslandsDoNotCompensateWorstCase(t *testing.T) {
+	// Raising only island 1 must NOT fix point A (otherwise the
+	// nesting is vacuous and islands 2/3 pointless).
+	f := newFixture(t)
+	p := f.generate(t, Vertical)
+	a := f.scenarioPositions()[2] // point A
+	res, err := mc.Run(f.a, &f.model, a, mc.Options{
+		Samples: 60, Seed: 10, ClockPS: f.clock, Derate: f.derate, Domains: p.Domains(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstOK := true
+	for _, st := range mc.PipelineStages {
+		d := res.PerStage[st]
+		if d.Fit.Mu-3*d.Fit.Sigma < 0 {
+			worstOK = false
+		}
+	}
+	if worstOK {
+		t.Error("island 1 alone compensates point A — island sizing degenerate")
+	}
+}
+
+func TestDomainsCumulative(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Horizontal)
+	d0 := p.Domains(0)
+	for _, d := range d0 {
+		if d != cell.DomainLow {
+			t.Fatal("scenario 0 must be all low")
+		}
+	}
+	counts := make([]int, 4)
+	for k := 1; k <= 3; k++ {
+		for _, d := range p.Domains(k) {
+			if d == cell.DomainHigh {
+				counts[k]++
+			}
+		}
+	}
+	if !(counts[1] < counts[2] && counts[2] < counts[3]) {
+		t.Errorf("high-cell counts not strictly growing: %v", counts[1:])
+	}
+}
+
+func TestInsertShifters(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Vertical)
+	before := f.core.NL.NumCells()
+	critBefore := f.a.Run(f.clock, f.derate).CritPS
+
+	n, err := p.InsertShifters(f.pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("no shifters inserted")
+	}
+	if f.core.NL.NumCells() != before+n {
+		t.Errorf("cells grew by %d, want %d", f.core.NL.NumCells()-before, n)
+	}
+	if len(p.Shifters) != n || len(p.Region) != f.core.NL.NumCells() {
+		t.Error("partition bookkeeping inconsistent after insertion")
+	}
+	if err := f.core.NL.Validate(); err != nil {
+		t.Fatalf("netlist invalid after insertion: %v", err)
+	}
+	if err := f.pl.Validate(); err != nil {
+		t.Fatalf("placement invalid after insertion: %v", err)
+	}
+
+	// Re-inserting must fail (already inserted).
+	if _, err := p.InsertShifters(f.pl); err == nil {
+		t.Error("double insertion accepted")
+	}
+
+	// Area overhead is positive and below the design's own area.
+	if p.ShifterAreaFrac() <= 0 || p.ShifterAreaFrac() >= 0.5 {
+		t.Errorf("shifter area fraction %g implausible", p.ShifterAreaFrac())
+	}
+
+	// Timing degradation from insertion: present but bounded. The
+	// paper saw 8-15% on a 3.9ns design where one shifter costs
+	// ~1.4% of the clock; on this reduced core a path crossing a
+	// boundary pays ~4% per shifter, so the bound is looser (the
+	// full-size comparison lives in the benchmark harness).
+	derate2 := append(append([]float64{}, f.derate...), make([]float64, n)...)
+	for i := before; i < before+n; i++ {
+		derate2[i] = 1
+	}
+	if err := f.a.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	critAfter := f.a.Run(f.clock, derate2).CritPS
+	degr := critAfter/critBefore - 1
+	if degr < 0 {
+		t.Errorf("insertion sped the design up (%.1f%%)", degr*100)
+	}
+	if degr > 0.60 {
+		t.Errorf("insertion degraded timing by %.0f%% — implausible", degr*100)
+	}
+}
+
+func TestShiftersOnlyOnLowToHighCrossings(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Vertical)
+	if _, err := p.InsertShifters(f.pl); err != nil {
+		t.Fatal(err)
+	}
+	nl := f.core.NL
+	for _, ls := range p.Shifters {
+		in := nl.Insts[ls].Inputs[0]
+		drv := nl.Nets[in].Driver
+		if drv == netlist.NoInst {
+			t.Fatal("shifter fed by primary input")
+		}
+		if nl.Insts[drv].Kind == cell.LvlShift {
+			t.Error("chained level shifters")
+		}
+		drvRegion := p.Region[drv]
+		lsRegion := p.Region[ls]
+		if lsRegion >= drvRegion {
+			t.Errorf("shifter region %d not below driver region %d", lsRegion, drvRegion)
+		}
+		// Every sink of the shifter output sits in the shifter's
+		// region.
+		for _, s := range nl.Nets[nl.Insts[ls].Out].Sinks {
+			if p.Region[s.Inst] != lsRegion {
+				t.Error("shifter serves sinks outside its region")
+			}
+		}
+	}
+	// No remaining unshifted low->high crossing, except nets driven
+	// by ties or PIs; a level shifter's own input pin is by
+	// definition in the lower domain.
+	for n := range nl.Nets {
+		drv := nl.Nets[n].Driver
+		if drv == netlist.NoInst || nl.Cell(drv).IsTie() {
+			continue
+		}
+		for _, s := range nl.Nets[n].Sinks {
+			if nl.Insts[s.Inst].Kind == cell.LvlShift {
+				continue
+			}
+			if p.Region[s.Inst] < p.Region[drv] {
+				t.Errorf("net %d still crosses low->high without a shifter", n)
+			}
+		}
+	}
+}
+
+func TestStrategyAndSideStrings(t *testing.T) {
+	if Vertical.String() != "vertical" || Horizontal.String() != "horizontal" {
+		t.Error("strategy names wrong")
+	}
+	if Left.String() != "left" || Right.String() != "right" || Bottom.String() != "bottom" || Top.String() != "top" {
+		t.Error("side names wrong")
+	}
+}
+
+func TestForceSide(t *testing.T) {
+	f := newFixture(t)
+	side := Right
+	p, err := Generate(f.a, &f.model, f.scenarioPositions()[:1], Options{
+		Strategy: Vertical, ClockPS: f.clock, Derate: f.derate, Samples: 30, Seed: 3,
+		ForceSide: &side,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StartSide != Right {
+		t.Errorf("start side = %v, want right", p.StartSide)
+	}
+	// Growth from the right: island cells must hug the right edge.
+	maxX := 0.0
+	for i := 0; i < f.core.NL.NumCells(); i++ {
+		x, _ := f.pl.Center(i)
+		if x > maxX {
+			maxX = x
+		}
+	}
+	for _, c := range p.Islands[0].Cells {
+		x, _ := f.pl.Center(c)
+		if x < maxX-p.Islands[0].ToUM-1 {
+			t.Fatalf("cell %d at x=%g outside right band of %g", c, x, p.Islands[0].ToUM)
+		}
+	}
+}
+
+func TestCountCrossingsMatchesInsertion(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Vertical)
+	predicted := CountCrossings(f.core.NL, p.Region)
+	inserted, err := p.InsertShifters(f.pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted != inserted {
+		t.Errorf("CountCrossings predicted %d, insertion produced %d", predicted, inserted)
+	}
+}
+
+func TestCountCrossingsIgnoresTiesAndPIs(t *testing.T) {
+	b := netlist.NewBuilder("t", cell.Default65nm())
+	pi := b.Input("pi")
+	k := b.Const(true)
+	x := b.And(pi, k)
+	y := b.Not(x)
+	_ = y
+	// Regions: the AND in region 2, the INV in region 1 -> one
+	// crossing; tie and PI feed region-2 cells without shifters.
+	region := []int32{RegionNone, 2, 1}
+	if got := CountCrossings(b.NL, region); got != 1 {
+		t.Errorf("crossings = %d, want 1", got)
+	}
+}
+
+func TestCornerStrategy(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Corner)
+	if p.NumIslands() != 3 {
+		t.Fatalf("corner: %d islands, want 3", p.NumIslands())
+	}
+	switch p.StartSide {
+	case BottomLeft, BottomRight, TopLeft, TopRight:
+	default:
+		t.Errorf("corner strategy picked edge side %v", p.StartSide)
+	}
+	// Island 1 cells hug the chosen corner: Chebyshev distance in
+	// normalized coordinates within the island bound.
+	extent := f.pl.DieW
+	if f.pl.DieH > extent {
+		extent = f.pl.DieH
+	}
+	bound := p.Islands[0].ToUM / extent
+	for _, c := range p.Islands[0].Cells {
+		x, y := f.pl.Center(c)
+		nx, ny := x/f.pl.DieW, y/f.pl.DieH
+		if p.StartSide == BottomRight || p.StartSide == TopRight {
+			nx = 1 - nx
+		}
+		if p.StartSide == TopLeft || p.StartSide == TopRight {
+			ny = 1 - ny
+		}
+		d := nx
+		if ny > d {
+			d = ny
+		}
+		if d > bound+1e-9 {
+			t.Fatalf("cell %d at chebyshev %.3f outside island bound %.3f", c, d, bound)
+		}
+	}
+	// Compensation and shifter insertion work as for the other
+	// strategies.
+	if _, err := p.InsertShifters(f.pl); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.core.NL.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyStringsIncludeCorner(t *testing.T) {
+	if Corner.String() != "corner" {
+		t.Error("corner name wrong")
+	}
+	if BottomLeft.String() != "bottom-left" || TopRight.String() != "top-right" {
+		t.Error("corner side names wrong")
+	}
+}
+
+func TestRenderFloorplan(t *testing.T) {
+	f := newFixture(t)
+	p := f.generate(t, Vertical)
+	out := p.Render(f.pl, 40)
+	if !strings.Contains(out, "vertical slicing") {
+		t.Error("header missing")
+	}
+	// All three island digits appear, plus low-Vdd remainder or not.
+	for _, ch := range []string{"1", "2", "3"} {
+		if !strings.Contains(out, ch) {
+			t.Errorf("island %s missing from render:\n%s", ch, out)
+		}
+	}
+	// After insertion, shifters may appear as 'S'.
+	if _, err := p.InsertShifters(f.pl); err != nil {
+		t.Fatal(err)
+	}
+	out2 := p.Render(f.pl, 40)
+	if len(out2) <= len("header") {
+		t.Error("render empty after insertion")
+	}
+}

@@ -1,0 +1,361 @@
+// Package vipipe is a Go reproduction of "Process Variation Tolerant
+// Pipeline Design Through a Placement-Aware Multiple Voltage Island
+// Design Style" (Bonesi, Bertozzi, Benini, Macii — DATE 2008).
+//
+// It implements the paper's full methodology on top of from-scratch
+// substrates: a synthetic dual-Vdd 65nm standard-cell library, a
+// VEX-like 4-stage VLIW core emitted as a mapped gate-level netlist, a
+// min-cut global placer, static and statistical (Monte Carlo) timing
+// analysis with the paper's Lgate variation model, a gate-level
+// switching-activity simulator driving a PrimePower-style power model,
+// Razor-style violation-scenario detection, and the contribution
+// itself: placement-aware nested voltage islands with level-shifter
+// insertion (see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduced tables and figures).
+//
+// The Flow type walks the methodology of the paper's Fig. 1:
+//
+//	flow := vipipe.New(vipipe.DefaultConfig())
+//	flow.Synthesize()          // performance-optimized netlist
+//	flow.Place()               // coarse placement
+//	flow.Analyze()             // STA, clock selection, power recovery
+//	flow.Characterize()        // Monte Carlo SSTA at chip positions A-D
+//	part := flow.GenerateIslands(vi.Vertical)  // island generation
+//	flow.InsertShifters(part)  // level shifters + incremental placement
+//	flow.SimulateWorkload()    // FIR benchmark switching activity
+//	rep := flow.ScenarioPower(part, 2, flow.Position("B"))
+package vipipe
+
+import (
+	"fmt"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/mc"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+	"vipipe/internal/power"
+	"vipipe/internal/razor"
+	"vipipe/internal/sta"
+	"vipipe/internal/variation"
+	"vipipe/internal/vex"
+	"vipipe/internal/vexsim"
+	"vipipe/internal/vi"
+)
+
+// Config parameterizes the whole flow.
+type Config struct {
+	Core  vex.Config
+	Place place.Options
+	Model variation.Model
+
+	// Recovery emulates post-synthesis power optimization (see
+	// internal/sta): per-stage wall targets and the per-cell derate
+	// cap.
+	Recovery   sta.RecoveryTargets
+	MaxDerate  float64
+	ClockGuard float64 // clock = nominal critical path * (1 + guard)
+
+	// Monte Carlo characterization.
+	MCSamples int
+	Seed      int64
+
+	// FIR workload (paper: power measured on a FIR benchmark).
+	FIRSamples int
+	FIRTaps    int
+
+	// Voltage-island generation.
+	VISamples    int
+	SensorBudget int
+}
+
+// DefaultConfig reproduces the paper's setup on the full-size core.
+func DefaultConfig() Config {
+	return Config{
+		Core:         vex.DefaultConfig(),
+		Place:        place.DefaultOptions(),
+		Model:        variation.Default(),
+		Recovery:     sta.DefaultRecoveryTargets(),
+		MaxDerate:    12,
+		ClockGuard:   0.001,
+		MCSamples:    300,
+		Seed:         1,
+		FIRSamples:   48,
+		FIRTaps:      8,
+		VISamples:    60,
+		SensorBudget: razor.DefaultBudget,
+	}
+}
+
+// TestConfig is DefaultConfig on the reduced core with lighter Monte
+// Carlo settings, for fast tests and examples.
+func TestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Core = vex.SmallConfig()
+	cfg.MCSamples = 120
+	cfg.FIRSamples = 12
+	cfg.FIRTaps = 4
+	cfg.VISamples = 40
+	return cfg
+}
+
+// Flow carries the state of one end-to-end run.
+type Flow struct {
+	Cfg Config
+	Lib *cell.Library
+
+	Core *vex.Core
+	NL   *netlist.Netlist
+	PL   *place.Placement
+	STA  *sta.Analyzer
+
+	ClockPS float64
+	FmaxMHz float64
+	Derate  []float64
+
+	// Characterize results, keyed by position name (A..D).
+	MC map[string]*mc.Result
+	// ScenarioPositions orders the violating positions least to most
+	// severe (C, B, A), as consumed by island generation.
+	ScenarioPositions []variation.Pos
+
+	FIR      *vexsim.FIR
+	Activity []float64
+}
+
+// New prepares a flow; no work happens until the step methods run.
+func New(cfg Config) *Flow {
+	return &Flow{Cfg: cfg, Lib: cell.Default65nm()}
+}
+
+// Position returns the named chip position of the variation model.
+func (f *Flow) Position(name string) variation.Pos {
+	for _, p := range f.Cfg.Model.DiagonalPositions() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return variation.Pos{Name: name}
+}
+
+// Synthesize builds the performance-optimized gate-level core.
+func (f *Flow) Synthesize() error {
+	core, err := vex.Build(f.Cfg.Core, f.Lib)
+	if err != nil {
+		return err
+	}
+	f.Core = core
+	f.NL = core.NL
+	return nil
+}
+
+// Place runs global placement (the paper's physical-synthesis step).
+func (f *Flow) Place() error {
+	if f.NL == nil {
+		return fmt.Errorf("vipipe: Place before Synthesize")
+	}
+	pl, err := place.Global(f.NL, f.Cfg.Place)
+	if err != nil {
+		return err
+	}
+	f.PL = pl
+	return nil
+}
+
+// Analyze runs nominal STA, fixes the clock at the critical path plus
+// guard, and applies slack recovery so every stage sits near its wall
+// (the paper's performance-optimized starting point, Fig. 3 setup).
+func (f *Flow) Analyze() error {
+	if f.PL == nil {
+		return fmt.Errorf("vipipe: Analyze before Place")
+	}
+	a, err := sta.New(f.NL, f.PL)
+	if err != nil {
+		return err
+	}
+	f.STA = a
+	nominal := a.Run(1e12, nil)
+	f.ClockPS = nominal.CritPS * (1 + f.Cfg.ClockGuard)
+	f.FmaxMHz = sta.FmaxMHz(f.ClockPS)
+	f.Derate = a.SlackRecovery(f.ClockPS, f.Cfg.Recovery, f.Cfg.MaxDerate, 25)
+	return nil
+}
+
+// Characterize runs the Monte Carlo SSTA at every diagonal position
+// and derives the scenario ladder (paper Sections 4.3-4.4).
+func (f *Flow) Characterize() error {
+	if f.STA == nil {
+		return fmt.Errorf("vipipe: Characterize before Analyze")
+	}
+	f.MC = make(map[string]*mc.Result)
+	type classified struct {
+		pos variation.Pos
+		sc  mc.Scenario
+	}
+	var ladder []classified
+	for _, pos := range f.Cfg.Model.DiagonalPositions() {
+		res, err := mc.Run(f.STA, &f.Cfg.Model, pos, mc.Options{
+			Samples: f.Cfg.MCSamples,
+			Seed:    f.Cfg.Seed,
+			ClockPS: f.ClockPS,
+			Derate:  f.Derate,
+		})
+		if err != nil {
+			return err
+		}
+		f.MC[pos.Name] = res
+		sc, _ := res.Classify(0)
+		ladder = append(ladder, classified{pos, sc})
+	}
+	// Scenario positions: island k is sized to compensate the most
+	// severe chip position that will be treated with only k islands,
+	// i.e. the last position (walking from worst A to best D) whose
+	// classification is still at least k. With the canonical ladder
+	// A=3, B=2, C=1, D=0 this selects C, B, A.
+	f.ScenarioPositions = nil
+	for want := mc.Scenario(1); want <= 3; want++ {
+		var chosen *variation.Pos
+		for i := range ladder {
+			if ladder[i].sc >= want {
+				chosen = &ladder[i].pos
+			}
+		}
+		if chosen != nil {
+			f.ScenarioPositions = append(f.ScenarioPositions, *chosen)
+		}
+	}
+	if len(f.ScenarioPositions) == 0 {
+		return fmt.Errorf("vipipe: no violation scenarios found — nothing to compensate")
+	}
+	return nil
+}
+
+// SensorPlan derives the Razor sensor placement from the worst-case
+// (point A) characterization.
+func (f *Flow) SensorPlan() (*razor.Plan, error) {
+	resA, ok := f.MC["A"]
+	if !ok {
+		return nil, fmt.Errorf("vipipe: SensorPlan before Characterize")
+	}
+	return razor.NewPlan(f.NL, resA, f.Cfg.SensorBudget), nil
+}
+
+// GenerateIslands runs the paper's placement-aware slicing for the
+// characterized scenarios.
+func (f *Flow) GenerateIslands(strategy vi.Strategy) (*vi.Partition, error) {
+	if len(f.ScenarioPositions) == 0 {
+		return nil, fmt.Errorf("vipipe: GenerateIslands before Characterize")
+	}
+	return vi.Generate(f.STA, &f.Cfg.Model, f.ScenarioPositions, vi.Options{
+		Strategy: strategy,
+		ClockPS:  f.ClockPS,
+		Derate:   f.Derate,
+		Samples:  f.Cfg.VISamples,
+		Seed:     f.Cfg.Seed,
+	})
+}
+
+// InsertShifters splices the partition's level shifters into the
+// netlist, extends the placement and the derate vector, and refreshes
+// the timing engine. It returns the shifter count and the critical-
+// path degradation fraction (paper Section 4.6: 8% vertical, 15%
+// horizontal).
+func (f *Flow) InsertShifters(p *vi.Partition) (count int, degradation float64, err error) {
+	before := f.STA.Run(f.ClockPS, f.Derate).CritPS
+	count, err = p.InsertShifters(f.PL)
+	if err != nil {
+		return 0, 0, err
+	}
+	for len(f.Derate) < f.NL.NumCells() {
+		f.Derate = append(f.Derate, 1)
+	}
+	if err := f.STA.Refresh(); err != nil {
+		return count, 0, err
+	}
+	after := f.STA.Run(f.ClockPS, f.Derate).CritPS
+	return count, after/before - 1, nil
+}
+
+// SimulateWorkload co-simulates the FIR benchmark on the gate-level
+// netlist against behavioral memories and records switching activity.
+// Run it after any netlist mutation (level shifters, Razor flops) so
+// the activity covers the final design.
+func (f *Flow) SimulateWorkload() error {
+	if f.Core == nil {
+		return fmt.Errorf("vipipe: SimulateWorkload before Synthesize")
+	}
+	fir, err := vexsim.NewFIR(f.Cfg.Core, f.Cfg.FIRSamples, f.Cfg.FIRTaps, f.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	tb, err := vexsim.NewTestbench(f.Core, fir.Prog, fir.DMem)
+	if err != nil {
+		return err
+	}
+	tb.Run(fir.Cycles)
+	if idx := fir.CheckResults(tb.DMem); idx >= 0 {
+		return fmt.Errorf("vipipe: FIR output wrong at %d — netlist broken", idx)
+	}
+	f.FIR = fir
+	f.Activity = tb.Activity()
+	return nil
+}
+
+// SystematicLgate returns per-cell gate lengths at a chip position
+// with the random component suppressed: the "mean chip" used for
+// scenario power reporting.
+func (f *Flow) SystematicLgate(pos variation.Pos) []float64 {
+	lg := make([]float64, f.NL.NumCells())
+	for i := range lg {
+		cx, cy := f.PL.Center(i)
+		lg[i] = f.Cfg.Model.SystematicLgateNM(pos.XMM+cx/1000, pos.YMM+cy/1000)
+	}
+	return lg
+}
+
+// Power runs the power analysis under an explicit domain assignment
+// and chip position (leakage scales with the position's systematic
+// gate length).
+func (f *Flow) Power(domains []cell.Domain, pos variation.Pos) (*power.Report, error) {
+	if f.Activity == nil {
+		return nil, fmt.Errorf("vipipe: Power before SimulateWorkload")
+	}
+	return power.Analyze(power.Inputs{
+		NL:       f.NL,
+		PL:       f.PL,
+		Activity: f.Activity,
+		FreqMHz:  f.FmaxMHz,
+		Domains:  domains,
+		LgateNM:  f.SystematicLgate(pos),
+	})
+}
+
+// ScenarioPower reports the power of the VI design with islands
+// 1..scenario raised, for a chip at pos (Fig. 5 / Fig. 6 data).
+func (f *Flow) ScenarioPower(p *vi.Partition, scenario int, pos variation.Pos) (*power.Report, error) {
+	return f.Power(p.Domains(scenario), pos)
+}
+
+// ChipWidePower reports the baseline of Figures 5 and 6: the whole
+// design raised to high Vdd. Chip-wide adaptation needs no level
+// shifters, so for a faithful baseline call this BEFORE
+// InsertShifters (and after SimulateWorkload); calling it on a
+// shifter-bearing netlist measures the VI layout run chip-wide, a
+// conservative variant.
+func (f *Flow) ChipWidePower(pos variation.Pos) (*power.Report, error) {
+	domains := make([]cell.Domain, f.NL.NumCells())
+	for i := range domains {
+		domains[i] = cell.DomainHigh
+	}
+	return f.Power(domains, pos)
+}
+
+// Run executes the standard sequence through Characterize.
+func (f *Flow) Run() error {
+	steps := []func() error{f.Synthesize, f.Place, f.Analyze, f.Characterize}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

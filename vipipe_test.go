@@ -1,0 +1,131 @@
+package vipipe
+
+import (
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/vi"
+)
+
+func TestFlowStepOrderEnforced(t *testing.T) {
+	f := New(TestConfig())
+	if err := f.Place(); err == nil {
+		t.Error("Place before Synthesize accepted")
+	}
+	if err := f.Analyze(); err == nil {
+		t.Error("Analyze before Place accepted")
+	}
+	if err := f.Characterize(); err == nil {
+		t.Error("Characterize before Analyze accepted")
+	}
+	if _, err := f.SensorPlan(); err == nil {
+		t.Error("SensorPlan before Characterize accepted")
+	}
+	if _, err := f.GenerateIslands(vi.Vertical); err == nil {
+		t.Error("GenerateIslands before Characterize accepted")
+	}
+	if err := f.SimulateWorkload(); err == nil {
+		t.Error("SimulateWorkload before Synthesize accepted")
+	}
+}
+
+func TestFlowEndToEnd(t *testing.T) {
+	f := New(TestConfig())
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.FmaxMHz <= 0 || f.ClockPS <= 0 {
+		t.Fatal("no clock derived")
+	}
+	// Canonical scenario ladder: three scenarios, targets C, B, A.
+	if len(f.ScenarioPositions) != 3 {
+		t.Fatalf("scenario positions = %v", f.ScenarioPositions)
+	}
+	names := []string{}
+	for _, p := range f.ScenarioPositions {
+		names = append(names, p.Name)
+	}
+	if names[0] != "C" || names[1] != "B" || names[2] != "A" {
+		t.Errorf("scenario targets = %v, want [C B A]", names)
+	}
+
+	// Workload + baseline power before mutation.
+	if err := f.SimulateWorkload(); err != nil {
+		t.Fatal(err)
+	}
+	base, err := f.ChipWidePower(f.Position("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalMW() <= 0 {
+		t.Fatal("no baseline power")
+	}
+
+	// Islands, shifters, scenario power.
+	part, err := f.GenerateIslands(vi.Vertical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, degr, err := f.InsertShifters(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count <= 0 {
+		t.Fatal("no shifters")
+	}
+	if degr < 0 || degr > 0.6 {
+		t.Errorf("degradation %.2f implausible", degr)
+	}
+	if err := f.SimulateWorkload(); err != nil {
+		t.Fatal(err)
+	}
+	// One island raised must cost less than all three raised, which
+	// must cost less than the whole (shifter-bearing) design high.
+	p1, err := f.ScenarioPower(part, 1, f.Position("C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := f.ScenarioPower(part, 3, f.Position("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalMW() >= p3.TotalMW() {
+		t.Errorf("1-island power %.3f >= 3-island power %.3f", p1.TotalMW(), p3.TotalMW())
+	}
+	wide, err := f.ChipWidePower(f.Position("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.TotalMW() > wide.TotalMW() {
+		t.Errorf("3-island power %.3f exceeds chip-wide %.3f", p3.TotalMW(), wide.TotalMW())
+	}
+
+	// Sensor plan is available and bounded.
+	plan, err := f.SensorPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumSensors() == 0 || plan.NumSensors() > 3*f.Cfg.SensorBudget {
+		t.Errorf("sensors = %d", plan.NumSensors())
+	}
+}
+
+func TestPositionLookup(t *testing.T) {
+	f := New(TestConfig())
+	if f.Position("B").Name != "B" || f.Position("B").XMM <= 0 {
+		t.Error("position lookup broken")
+	}
+	if f.Position("Z").XMM != 0 {
+		t.Error("unknown position should be zero-valued")
+	}
+}
+
+func TestPowerBeforeWorkloadRejected(t *testing.T) {
+	f := New(TestConfig())
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Power(make([]cell.Domain, f.NL.NumCells()), f.Position("A")); err == nil {
+		t.Error("Power before SimulateWorkload accepted")
+	}
+}
