@@ -1,0 +1,38 @@
+# Build and verification entry points. `make ci` is the full battery a
+# change must pass before merging.
+
+GO ?= go
+
+.PHONY: all build vet test race fault fuzz ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy engines (Monte Carlo dispatch/cancellation,
+# gate-level simulation) and the facade run under the race detector;
+# this is what validates the worker-drain guarantees of mc.Run.
+race:
+	$(GO) test -race . ./internal/mc ./internal/gsim ./internal/vexsim ./internal/flowerr ./internal/drc
+
+# The fault-injection suite: corrupted SDF/DEF/netlist/placement/region
+# artifacts must yield typed errors, never panics.
+fault:
+	$(GO) test -v -run 'TestCorrupted|TestGuard' ./internal/faultinject
+
+# Short deterministic fuzz pass over the interchange parsers.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseSDF -fuzztime=10s ./internal/sdf
+	$(GO) test -run=^$$ -fuzz=FuzzParseDEF -fuzztime=10s ./internal/def
+
+ci: vet build race test fault
+
+clean:
+	$(GO) clean ./...

@@ -10,6 +10,7 @@ package vipipe
 // output and reports headline values as benchmark metrics.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,14 +47,24 @@ var (
 	sharedErr  error
 )
 
+// benchPos resolves a chip position or fails the benchmark.
+func benchPos(b *testing.B, f *Flow, name string) variation.Pos {
+	b.Helper()
+	p, err := f.Position(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
 func shared(b *testing.B) *Flow {
 	b.Helper()
 	sharedOnce.Do(func() {
 		f := New(benchCfg())
-		if sharedErr = f.Run(); sharedErr != nil {
+		if sharedErr = f.Run(context.Background()); sharedErr != nil {
 			return
 		}
-		sharedErr = f.SimulateWorkload()
+		sharedErr = f.SimulateWorkload(context.Background())
 		sharedF = f
 	})
 	if sharedErr != nil {
@@ -66,10 +77,10 @@ func shared(b *testing.B) *Flow {
 func freshFlow(b *testing.B) *Flow {
 	b.Helper()
 	f := New(benchCfg())
-	if err := f.Run(); err != nil {
+	if err := f.Run(context.Background()); err != nil {
 		b.Fatal(err)
 	}
-	if err := f.SimulateWorkload(); err != nil {
+	if err := f.SimulateWorkload(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	return f
@@ -140,7 +151,7 @@ func BenchmarkTable1Breakdown(b *testing.B) {
 	var rep *power.Report
 	var err error
 	for i := 0; i < b.N; i++ {
-		rep, err = f.Power(nil, f.Position("D"))
+		rep, err = f.Power(nil, benchPos(b, f, "D"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +225,7 @@ func BenchmarkFig4IslandGeneration(b *testing.B) {
 			var part *vi.Partition
 			var err error
 			for i := 0; i < b.N; i++ {
-				part, err = f.GenerateIslands(strat)
+				part, err = f.GenerateIslands(context.Background(), strat)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -253,15 +264,15 @@ func runStrategy(b *testing.B, strat vi.Strategy) *strategyRun {
 		}
 		baseline[pos.Name] = rep
 	}
-	part, err := f.GenerateIslands(strat)
+	part, err := f.GenerateIslands(context.Background(), strat)
 	if err != nil {
 		b.Fatal(err)
 	}
-	n, degr, err := f.InsertShifters(part)
+	n, degr, err := f.InsertShifters(context.Background(), part)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := f.SimulateWorkload(); err != nil {
+	if err := f.SimulateWorkload(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	return &strategyRun{flow: f, part: part, shifters: n, degr: degr, baseline: baseline}
@@ -281,11 +292,11 @@ func BenchmarkTable2LevelShifters(b *testing.B) {
 			100*hor.part.ShifterAreaFrac(), 100*ver.part.ShifterAreaFrac())
 		for _, pn := range []string{"A", "B", "C"} {
 			k := map[string]int{"A": 3, "B": 2, "C": 1}[pn]
-			hp, err := hor.flow.ScenarioPower(hor.part, k, hor.flow.Position(pn))
+			hp, err := hor.flow.ScenarioPower(hor.part, k, benchPos(b, hor.flow, pn))
 			if err != nil {
 				b.Fatal(err)
 			}
-			vp, err := ver.flow.ScenarioPower(ver.part, k, ver.flow.Position(pn))
+			vp, err := ver.flow.ScenarioPower(ver.part, k, benchPos(b, ver.flow, pn))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -328,7 +339,7 @@ func benchFig56(b *testing.B, leakage bool) {
 		for _, pn := range []string{"A", "B", "C"} {
 			k := map[string]int{"A": 3, "B": 2, "C": 1}[pn]
 			for _, r := range []*strategyRun{hor, ver} {
-				rep, err := r.flow.ScenarioPower(r.part, k, r.flow.Position(pn))
+				rep, err := r.flow.ScenarioPower(r.part, k, benchPos(b, r.flow, pn))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -355,7 +366,7 @@ func benchFig56(b *testing.B, leakage bool) {
 func BenchmarkAblationStartSide(b *testing.B) {
 	f := shared(b)
 	for i := 0; i < b.N; i++ {
-		auto, err := f.GenerateIslands(vi.Vertical)
+		auto, err := f.GenerateIslands(context.Background(), vi.Vertical)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -363,7 +374,7 @@ func BenchmarkAblationStartSide(b *testing.B) {
 		if auto.StartSide == vi.Right {
 			opposite = vi.Left
 		}
-		forced, err := vi.Generate(f.STA, &f.Cfg.Model, f.ScenarioPositions, vi.Options{
+		forced, err := vi.Generate(context.Background(), f.STA, &f.Cfg.Model, f.ScenarioPositions, vi.Options{
 			Strategy: vi.Vertical, ClockPS: f.ClockPS, Derate: f.Derate,
 			Samples: f.Cfg.VISamples, Seed: f.Cfg.Seed, ForceSide: &opposite,
 		})
@@ -419,7 +430,7 @@ func BenchmarkAblationSensorBudget(b *testing.B) {
 func BenchmarkAblationPlacement(b *testing.B) {
 	f := shared(b)
 	for i := 0; i < b.N; i++ {
-		part, err := f.GenerateIslands(vi.Vertical)
+		part, err := f.GenerateIslands(context.Background(), vi.Vertical)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -458,7 +469,7 @@ func BenchmarkAblationSamples(b *testing.B) {
 	f := shared(b)
 	for i := 0; i < b.N; i++ {
 		for _, n := range []int{50, 100, 200, 400} {
-			res, err := mc.Run(f.STA, &f.Cfg.Model, f.Position("A"), mc.Options{
+			res, err := mc.Run(context.Background(), f.STA, &f.Cfg.Model, benchPos(b, f, "A"), mc.Options{
 				Samples: n, Seed: 31, ClockPS: f.ClockPS, Derate: f.Derate,
 			})
 			if err != nil {
@@ -491,13 +502,13 @@ func BenchmarkExtGlitchAwarePower(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	simRep, err := f.Power(nil, f.Position("D"))
+	simRep, err := f.Power(nil, benchPos(b, f, "D"))
 	if err != nil {
 		b.Fatal(err)
 	}
 	glitchRep, err := power.Analyze(power.Inputs{
 		NL: f.NL, PL: f.PL, Activity: est, FreqMHz: f.FmaxMHz,
-		LgateNM: f.SystematicLgate(f.Position("D")),
+		LgateNM: f.SystematicLgate(benchPos(b, f, "D")),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -555,7 +566,7 @@ func BenchmarkExtEnergyComparison(b *testing.B) {
 		}
 		for _, pn := range []string{"A", "C"} {
 			k := map[string]int{"A": 3, "C": 1}[pn]
-			rep, err := ver.flow.ScenarioPower(ver.part, k, ver.flow.Position(pn))
+			rep, err := ver.flow.ScenarioPower(ver.part, k, benchPos(b, ver.flow, pn))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -582,7 +593,7 @@ func BenchmarkExtCornerStrategy(b *testing.B) {
 	f := shared(b)
 	for i := 0; i < b.N; i++ {
 		for _, strat := range []vi.Strategy{vi.Vertical, vi.Horizontal, vi.Corner} {
-			part, err := f.GenerateIslands(strat)
+			part, err := f.GenerateIslands(context.Background(), strat)
 			if err != nil {
 				b.Fatal(err)
 			}

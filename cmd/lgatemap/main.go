@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/variation"
 )
 
@@ -16,6 +17,12 @@ func main() {
 	n := flag.Int("n", 28, "grid resolution (cells per chip edge)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 	flag.Parse()
+
+	if *n < 2 {
+		err := flowerr.BadInputf("lgatemap: grid resolution %d, need at least 2", *n)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(flowerr.ExitCode(err))
+	}
 
 	m := variation.Default()
 	grid := m.MapGrid(*n)

@@ -7,21 +7,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"vipipe"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
 	"vipipe/internal/stats"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsta:", err)
+	os.Exit(flowerr.ExitCode(err))
+}
 
 func main() {
 	small := flag.Bool("small", false, "use the reduced test core instead of the full 32-bit 4-slot core")
 	samples := flag.Int("samples", 0, "Monte Carlo samples (0 = config default)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := vipipe.DefaultConfig()
 	if *small {
@@ -33,8 +45,8 @@ func main() {
 	cfg.Seed = *seed
 
 	f := vipipe.New(cfg)
-	if err := f.Run(); err != nil {
-		log.Fatal(err)
+	if err := f.Run(ctx); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("core: %d cells, clock %.0fps (%.1f MHz)\n\n",
 		f.NL.NumCells(), f.ClockPS, f.FmaxMHz)
@@ -72,7 +84,7 @@ func main() {
 	// Razor plan (Section 4.4).
 	plan, err := f.SensorPlan()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\nRazor sensor plan (budget %d per stage): %d sensors, +%.0f um2\n",
 		cfg.SensorBudget, plan.NumSensors(), plan.AreaOverheadUM2(f.Lib))

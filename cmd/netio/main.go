@@ -10,17 +10,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"vipipe"
 	"vipipe/internal/def"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/sdf"
 	"vipipe/internal/sta"
 	"vipipe/internal/verilog"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netio:", err)
+	os.Exit(flowerr.ExitCode(err))
+}
 
 func main() {
 	small := flag.Bool("small", true, "use the reduced test core")
@@ -34,10 +42,13 @@ func main() {
 	if !*small {
 		cfg = vipipe.DefaultConfig()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	f := vipipe.New(cfg)
-	for _, step := range []func() error{f.Synthesize, f.Place, f.Analyze} {
-		if err := step(); err != nil {
-			log.Fatal(err)
+	for _, step := range []func(context.Context) error{f.Synthesize, f.Place, f.Analyze} {
+		if err := step(ctx); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Printf("core: %d cells, nominal fmax %.1f MHz\n", f.NL.NumCells(), f.FmaxMHz)
@@ -45,10 +56,10 @@ func main() {
 	if *vPath != "" {
 		w, err := os.Create(*vPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := verilog.Write(w, f.NL); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		w.Close()
 		fmt.Printf("wrote structural Verilog: %s\n", *vPath)
@@ -57,10 +68,10 @@ func main() {
 	if *defPath != "" {
 		w, err := os.Create(*defPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := def.Write(w, f.PL); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		w.Close()
 		fmt.Printf("wrote placement DEF: %s\n", *defPath)
@@ -74,10 +85,10 @@ func main() {
 	if *sdfPath != "" {
 		w, err := os.Create(*sdfPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if err := sdf.Write(w, f.NL, delays); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		w.Close()
 		fmt.Printf("wrote nominal SDF: %s\n", *sdfPath)
@@ -85,7 +96,10 @@ func main() {
 
 	// Variability injection: scale delays by the position's
 	// systematic Lgate map, write, re-parse, re-time.
-	pos := f.Position(*inject)
+	pos, err := f.Position(*inject)
+	if err != nil {
+		fatal(err)
+	}
 	lg := f.SystematicLgate(pos)
 	tech := &f.NL.Lib.Tech
 	injected := make([]float64, len(delays))
@@ -94,23 +108,23 @@ func main() {
 	}
 	tmp, err := os.CreateTemp("", "vipipe-*.sdf")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	defer os.Remove(tmp.Name())
 	if err := sdf.Write(tmp, f.NL, injected); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if _, err := tmp.Seek(0, 0); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	parsed, err := sdf.Parse(tmp)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	tmp.Close()
 	scales, err := parsed.Scales(f.NL, f.STA.BaseDelay)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	rep := f.STA.Run(f.ClockPS, scales)
 	fmt.Printf("after SDF round trip at position %s: critical path %.0f ps (%.1f MHz), slack %.0f ps\n",

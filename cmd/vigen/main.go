@@ -5,12 +5,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"vipipe"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/vi"
 )
 
@@ -18,10 +22,18 @@ func indent(s string) string {
 	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vigen:", err)
+	os.Exit(flowerr.ExitCode(err))
+}
+
 func main() {
 	small := flag.Bool("small", false, "use the reduced test core")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	for _, strat := range []vi.Strategy{vi.Vertical, vi.Horizontal} {
 		cfg := vipipe.DefaultConfig()
@@ -32,12 +44,12 @@ func main() {
 		// A fresh flow per strategy: shifter insertion mutates the
 		// netlist.
 		f := vipipe.New(cfg)
-		if err := f.Run(); err != nil {
-			log.Fatal(err)
+		if err := f.Run(ctx); err != nil {
+			fatal(err)
 		}
-		part, err := f.GenerateIslands(strat)
+		part, err := f.GenerateIslands(ctx, strat)
 		if err != nil {
-			log.Fatalf("%v slicing: %v", strat, err)
+			fatal(fmt.Errorf("%v slicing: %w", strat, err))
 		}
 		fmt.Printf("== %v slicing (start side: %v) — Fig. 4\n", strat, part.StartSide)
 		axis := "x"
@@ -49,9 +61,9 @@ func main() {
 				isl.Index, axis, isl.FromUM, isl.ToUM, len(isl.Cells))
 		}
 		fmt.Println(indent(part.Render(f.PL, 56)))
-		count, degr, err := f.InsertShifters(part)
+		count, degr, err := f.InsertShifters(ctx, part)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  level shifters: %d (area %.2f%% of logic) — Table 2\n",
 			count, 100*part.ShifterAreaFrac())

@@ -5,23 +5,42 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"vipipe"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/power"
 	"vipipe/internal/sta"
 	"vipipe/internal/vi"
 )
 
+// fatal prints the error and exits with its flowerr class code, so
+// scripts can distinguish bad input from cancellation from DRC fails.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vipipe:", err)
+	os.Exit(flowerr.ExitCode(err))
+}
+
+var runDRC bool
+
 func main() {
 	small := flag.Bool("small", false, "use the reduced test core")
 	seed := flag.Int64("seed", 1, "random seed")
 	experiment := flag.String("experiment", "all", "one of: all, timing, table1, table2, fig5, fig6")
+	flag.BoolVar(&runDRC, "drc", false, "run design-rule checks between flow steps and fail on violations")
 	flag.Parse()
+
+	// Ctrl-C cancels the flow cleanly: workers drain and the exit code
+	// reports cancellation instead of a half-written report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := vipipe.DefaultConfig()
 	if *small {
@@ -31,28 +50,39 @@ func main() {
 
 	switch *experiment {
 	case "timing", "table1":
-		f := baseFlow(cfg)
+		f := baseFlow(ctx, cfg)
 		if *experiment == "timing" {
 			timingReport(f)
 		} else {
 			table1(f)
 		}
 	case "table2", "fig5", "fig6", "all":
-		runAll(cfg, *experiment)
+		runAll(ctx, cfg, *experiment)
 	default:
-		log.Fatalf("unknown experiment %q", *experiment)
+		fatal(flowerr.BadInputf("unknown experiment %q", *experiment))
 	}
 }
 
-func baseFlow(cfg vipipe.Config) *vipipe.Flow {
+func baseFlow(ctx context.Context, cfg vipipe.Config) *vipipe.Flow {
 	f := vipipe.New(cfg)
-	if err := f.Run(); err != nil {
-		log.Fatal(err)
+	if err := f.Run(ctx); err != nil {
+		fatal(err)
 	}
-	if err := f.SimulateWorkload(); err != nil {
-		log.Fatal(err)
+	if err := f.SimulateWorkload(ctx); err != nil {
+		fatal(err)
 	}
+	check(f, nil)
 	return f
+}
+
+// check runs the DRC battery when -drc is set.
+func check(f *vipipe.Flow, part *vi.Partition) {
+	if !runDRC {
+		return
+	}
+	if err := f.Check(part); err != nil {
+		fatal(err)
+	}
 }
 
 // timingReport prints the Section 4.2 scalars: fmax, area, and the
@@ -89,9 +119,13 @@ func timingReport(f *vipipe.Flow) {
 // table1 prints the area and power breakdown per unit.
 func table1(f *vipipe.Flow) {
 	fmt.Printf("== Table 1 — area and power breakdown\n")
-	rep, err := f.Power(nil, f.Position("D"))
+	posD, err := f.Position("D")
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
+	}
+	rep, err := f.Power(nil, posD)
+	if err != nil {
+		fatal(err)
 	}
 	ds := f.NL.Stats()
 	areaBy := make(map[string]float64)
@@ -110,7 +144,7 @@ func table1(f *vipipe.Flow) {
 // runAll executes both slicing strategies and prints Table 2 and the
 // Figure 5/6 comparisons (and, for "all", the timing and Table 1
 // blocks from the shared pre-insertion flow).
-func runAll(cfg vipipe.Config, experiment string) {
+func runAll(ctx context.Context, cfg vipipe.Config, experiment string) {
 	type stratResult struct {
 		strategy  vi.Strategy
 		shifters  int
@@ -122,7 +156,7 @@ func runAll(cfg vipipe.Config, experiment string) {
 	}
 	var results []stratResult
 	for _, strat := range []vi.Strategy{vi.Horizontal, vi.Vertical} {
-		f := baseFlow(cfg)
+		f := baseFlow(ctx, cfg)
 		if experiment == "all" && strat == vi.Horizontal {
 			timingReport(f)
 			table1(f)
@@ -131,21 +165,22 @@ func runAll(cfg vipipe.Config, experiment string) {
 		for _, pos := range cfg.Model.DiagonalPositions() {
 			rep, err := f.ChipWidePower(pos)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			baseline[pos.Name] = rep
 		}
-		part, err := f.GenerateIslands(strat)
+		part, err := f.GenerateIslands(ctx, strat)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		n, degr, err := f.InsertShifters(part)
+		n, degr, err := f.InsertShifters(ctx, part)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
-		if err := f.SimulateWorkload(); err != nil {
-			log.Fatal(err)
+		if err := f.SimulateWorkload(ctx); err != nil {
+			fatal(err)
 		}
+		check(f, part)
 		results = append(results, stratResult{
 			strategy: strat, shifters: n, areaFrac: part.ShifterAreaFrac(),
 			degr: degr, flow: f, partition: part, baseline: baseline,
@@ -163,10 +198,13 @@ func runAll(cfg vipipe.Config, experiment string) {
 		for _, pn := range positions {
 			fmt.Printf("%-28s", fmt.Sprintf("LS power (point %s)", pn))
 			for _, r := range results {
-				pos := r.flow.Position(pn)
+				pos, err := r.flow.Position(pn)
+				if err != nil {
+					fatal(err)
+				}
 				rep, err := r.flow.ScenarioPower(r.partition, scenarioOf[pn], pos)
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				fmt.Printf(" %11.2f%%", 100*rep.ShifterFrac())
 			}
@@ -183,10 +221,13 @@ func runAll(cfg vipipe.Config, experiment string) {
 		for _, pn := range positions {
 			k := scenarioOf[pn]
 			for _, r := range results {
-				pos := r.flow.Position(pn)
+				pos, err := r.flow.Position(pn)
+				if err != nil {
+					fatal(err)
+				}
 				rep, err := r.flow.ScenarioPower(r.partition, k, pos)
 				if err != nil {
-					log.Fatal(err)
+					fatal(err)
 				}
 				base := r.baseline[pn]
 				fmt.Printf("%-24s %12.3f %12.3f\n",

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -79,7 +80,8 @@ func main() {
 	// Characterize at the worst-case corner.
 	model := variation.Default()
 	pointA := model.DiagonalPositions()[0]
-	res, err := mc.Run(analyzer, &model, pointA, mc.Options{
+	ctx := context.Background()
+	res, err := mc.Run(ctx, analyzer, &model, pointA, mc.Options{
 		Samples: 150, Seed: 7, ClockPS: clock,
 	})
 	if err != nil {
@@ -94,7 +96,7 @@ func main() {
 	}
 
 	// One compensating island for the worst case.
-	part, err := vi.Generate(analyzer, &model, []variation.Pos{pointA}, vi.Options{
+	part, err := vi.Generate(ctx, analyzer, &model, []variation.Pos{pointA}, vi.Options{
 		Strategy: vi.Vertical, ClockPS: clock, Samples: 40, Seed: 7,
 	})
 	if err != nil {

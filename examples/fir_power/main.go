@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,14 +21,15 @@ import (
 func main() {
 	cfg := vipipe.TestConfig()
 	flow := vipipe.New(cfg)
-	if err := flow.Run(); err != nil {
+	ctx := context.Background()
+	if err := flow.Run(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// Co-simulate the FIR benchmark; the flow verifies the filter
 	// output against the reference machine, so a power number here
 	// is backed by a functionally-correct run.
-	if err := flow.SimulateWorkload(); err != nil {
+	if err := flow.SimulateWorkload(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("FIR: %d samples x %d taps, %d cycles simulated\n\n",
@@ -35,7 +37,10 @@ func main() {
 
 	// Nominal power at 1.0V for a chip with no systematic penalty
 	// (position D) — the Table 1 configuration.
-	pos := flow.Position("D")
+	pos, err := flow.Position("D")
+	if err != nil {
+		log.Fatal(err)
+	}
 	low, err := flow.Power(nil, pos)
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -24,20 +25,21 @@ func main() {
 	// 4-issue core.
 	cfg := vipipe.TestConfig()
 	flow := vipipe.New(cfg)
+	ctx := context.Background()
 
-	if err := flow.Synthesize(); err != nil {
+	if err := flow.Synthesize(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("synthesized %q: %d cells, %d nets\n",
 		flow.NL.Name, flow.NL.NumCells(), flow.NL.NumNets())
 
-	if err := flow.Place(); err != nil {
+	if err := flow.Place(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("placed on a %.0fx%.0fum die (%d rows), HPWL %.0fum\n",
 		flow.PL.DieW, flow.PL.DieH, flow.PL.Rows, flow.PL.HPWL())
 
-	if err := flow.Analyze(); err != nil {
+	if err := flow.Analyze(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("fmax %.1f MHz (clock %.0f ps)\n\n", flow.FmaxMHz, flow.ClockPS)

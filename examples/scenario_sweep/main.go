@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ import (
 func main() {
 	cfg := vipipe.TestConfig()
 	flow := vipipe.New(cfg)
-	if err := flow.Run(); err != nil {
+	if err := flow.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

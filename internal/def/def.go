@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/place"
 )
 
@@ -20,7 +21,7 @@ const dbuPerMicron = 1000
 // Write emits the placement as DEF.
 func Write(w io.Writer, p *place.Placement) error {
 	if err := p.Validate(); err != nil {
-		return fmt.Errorf("def: refusing to write invalid placement: %w", err)
+		return flowerr.BadInputf("def: refusing to write invalid placement: %w", err)
 	}
 	bw := bufio.NewWriter(w)
 	dbu := func(um float64) int { return int(um*dbuPerMicron + 0.5) }
@@ -75,7 +76,7 @@ func Parse(r io.Reader) (*File, error) {
 			w, err1 := toUM(fields[6])
 			h, err2 := toUM(fields[7])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("def: bad DIEAREA %q", sc.Text())
+				return nil, flowerr.BadInputf("def: bad DIEAREA %q", sc.Text())
 			}
 			f.DieW, f.DieH = w, h
 		case fields[0] == "ROW":
@@ -87,21 +88,23 @@ func Parse(r io.Reader) (*File, error) {
 		case inComponents && fields[0] == "-":
 			// - name cell + PLACED ( x y ) N ;
 			if len(fields) < 10 {
-				return nil, fmt.Errorf("def: bad component line %q", sc.Text())
+				return nil, flowerr.BadInputf("def: bad component line %q", sc.Text())
 			}
 			x, err1 := toUM(fields[6])
 			y, err2 := toUM(fields[7])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("def: bad coordinates in %q", sc.Text())
+				return nil, flowerr.BadInputf("def: bad coordinates in %q", sc.Text())
 			}
 			f.Placed[fields[1]] = [2]float64{x, y}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Scanner errors on in-memory input (e.g. a line past the 1MB
+		// buffer) mean the text is malformed, not that IO failed.
+		return nil, flowerr.BadInputf("def: %w", err)
 	}
 	if len(f.Placed) == 0 {
-		return nil, fmt.Errorf("def: no placed components found")
+		return nil, flowerr.BadInputf("def: no placed components found")
 	}
 	return f, nil
 }
@@ -117,13 +120,13 @@ func (f *File) Apply(p *place.Placement) error {
 	for name, xy := range f.Placed {
 		i, ok := byName[name]
 		if !ok {
-			return fmt.Errorf("def: component %q not in netlist", name)
+			return flowerr.BadInputf("def: component %q not in netlist", name)
 		}
 		p.X[i], p.Y[i] = xy[0], xy[1]
 		applied++
 	}
 	if applied != p.NL.NumCells() {
-		return fmt.Errorf("def: placed %d of %d components", applied, p.NL.NumCells())
+		return flowerr.BadInputf("def: placed %d of %d components", applied, p.NL.NumCells())
 	}
 	return nil
 }

@@ -1,0 +1,263 @@
+// Package drc is the design-rule-check subsystem of the flow: a
+// battery of structural and physical invariant checks over the
+// netlist, placement, voltage-island partition and derate vectors that
+// the engine packages assume but (for speed) do not re-verify on every
+// call. It exists so a service front-end can validate ingested or
+// mutated designs between flow steps — vipipe.Flow.Check and the
+// cmd/vipipe -drc flag run it — and reject broken state with a typed
+// error instead of feeding it to a hot loop that would misbehave or
+// crash.
+//
+// Unlike the fail-fast Validate methods on individual types, Check
+// collects every violation it can find (bounded per rule) so one run
+// paints the whole picture of a damaged design.
+package drc
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+)
+
+// Rule identifiers, stable for programmatic filtering.
+const (
+	RuleArity        = "arity"          // instance pin count != library cell
+	RuleBadRef       = "bad-ref"        // instance references a nonexistent net/instance
+	RuleDriverBook   = "driver-book"    // net driver bookkeeping inconsistent
+	RuleSinkBook     = "sink-book"      // net sink bookkeeping inconsistent
+	RuleDanglingNet  = "dangling-net"   // net with sinks but no driver and not a PI
+	RuleCombLoop     = "comb-loop"      // combinational cycle
+	RuleUnplaced     = "unplaced-cell"  // placement does not cover every instance
+	RuleMisplaced    = "misplaced-cell" // NaN/Inf, outside the die, or off the row grid
+	RuleStackedCells = "stacked-cells"  // implausibly many cells at one origin
+	RuleMissingLS    = "missing-ls"     // low->high domain crossing without a level shifter
+	RuleRegionLen    = "region-length"  // partition region vector length mismatch
+	RuleDerateLen    = "derate-length"  // derate vector length mismatch
+	RuleDerateVal    = "derate-value"   // derate entry NaN/Inf/non-positive
+)
+
+// maxPerRule bounds how many violations of one rule a report retains;
+// a systematically corrupted design would otherwise produce one
+// violation per cell.
+const maxPerRule = 25
+
+// Violation is one broken invariant.
+type Violation struct {
+	Rule string
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Msg }
+
+// Report is the outcome of one DRC run.
+type Report struct {
+	Violations []Violation
+	// Truncated counts violations dropped by the per-rule bound.
+	Truncated int
+
+	perRule map[string]int
+}
+
+func (r *Report) add(rule, format string, args ...any) {
+	if r.perRule == nil {
+		r.perRule = make(map[string]int)
+	}
+	if r.perRule[rule] >= maxPerRule {
+		r.Truncated++
+		return
+	}
+	r.perRule[rule]++
+	r.Violations = append(r.Violations, Violation{Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Clean reports whether no rule fired.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a clean report, otherwise an error matching
+// flowerr.ErrDRC that lists the violations.
+func (r *Report) Err() error {
+	if r.Clean() {
+		return nil
+	}
+	return flowerr.DRCf("drc: %d violation(s):\n%s", len(r.Violations)+r.Truncated, r.String())
+}
+
+// String renders the violations one per line.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  [%s] %s\n", v.Rule, v.Msg)
+	}
+	if r.Truncated > 0 {
+		fmt.Fprintf(&b, "  ... and %d more\n", r.Truncated)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Inputs selects what Check validates. NL is required; every other
+// field is optional and enables the corresponding rules when set.
+type Inputs struct {
+	NL *netlist.Netlist
+	PL *place.Placement
+	// Region is the per-instance island assignment of a partition
+	// (vi.Partition.Region). When set together with ShiftersInserted,
+	// the level-shifter coverage rule runs.
+	Region []int32
+	// ShiftersInserted states that level-shifter insertion already
+	// ran, so every low->high crossing must terminate in a shifter.
+	ShiftersInserted bool
+	// Derate is the slack-recovery vector to validate against NL.
+	Derate []float64
+}
+
+// Check runs every applicable rule and returns the collected report.
+func Check(in Inputs) *Report {
+	r := &Report{}
+	if in.NL == nil {
+		r.add(RuleBadRef, "no netlist to check")
+		return r
+	}
+	checkNetlist(r, in.NL)
+	if in.PL != nil {
+		checkPlacement(r, in.NL, in.PL)
+	}
+	if in.Region != nil {
+		checkPartition(r, in.NL, in.Region, in.ShiftersInserted)
+	}
+	if in.Derate != nil {
+		checkDerate(r, in.NL, in.Derate)
+	}
+	return r
+}
+
+func checkNetlist(r *Report, nl *netlist.Netlist) {
+	for i := range nl.Insts {
+		inst := &nl.Insts[i]
+		c := nl.Lib.Cell(inst.Kind)
+		if len(inst.Inputs) != c.NumInputs {
+			r.add(RuleArity, "inst %q has %d inputs, cell %s wants %d", inst.Name, len(inst.Inputs), c.Name, c.NumInputs)
+		}
+		for pin, netID := range inst.Inputs {
+			if netID < 0 || netID >= len(nl.Nets) {
+				r.add(RuleBadRef, "inst %q pin %d connected to nonexistent net %d", inst.Name, pin, netID)
+			}
+		}
+		if inst.Out < 0 || inst.Out >= len(nl.Nets) {
+			r.add(RuleBadRef, "inst %q output on nonexistent net %d", inst.Name, inst.Out)
+		} else if nl.Nets[inst.Out].Driver != i {
+			r.add(RuleDriverBook, "net %q records driver %d, inst %q believes it drives it", nl.Nets[inst.Out].Name, nl.Nets[inst.Out].Driver, inst.Name)
+		}
+	}
+	isPI := make(map[int]bool, len(nl.PIs))
+	for _, id := range nl.PIs {
+		isPI[id] = true
+	}
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		if net.Driver == netlist.NoInst && !isPI[net.ID] && len(net.Sinks) > 0 {
+			r.add(RuleDanglingNet, "net %q has %d sink(s) but no driver and is not a primary input", net.Name, len(net.Sinks))
+		}
+		if net.Driver != netlist.NoInst && (net.Driver < 0 || net.Driver >= len(nl.Insts)) {
+			r.add(RuleBadRef, "net %q driven by nonexistent instance %d", net.Name, net.Driver)
+			continue
+		}
+		for _, s := range net.Sinks {
+			if s.Inst < 0 || s.Inst >= len(nl.Insts) {
+				r.add(RuleSinkBook, "net %q lists nonexistent sink instance %d", net.Name, s.Inst)
+				continue
+			}
+			if s.Pin < 0 || s.Pin >= len(nl.Insts[s.Inst].Inputs) || nl.Insts[s.Inst].Inputs[s.Pin] != net.ID {
+				r.add(RuleSinkBook, "net %q sink (%q pin %d) does not point back", net.Name, nl.Insts[s.Inst].Name, s.Pin)
+			}
+		}
+	}
+	// Structural references must be sound before walking the graph.
+	if r.perRule[RuleBadRef] == 0 && r.perRule[RuleSinkBook] == 0 {
+		if _, err := nl.Levelize(); err != nil {
+			r.add(RuleCombLoop, "%v", err)
+		}
+	}
+}
+
+func checkPlacement(r *Report, nl *netlist.Netlist, pl *place.Placement) {
+	if pl.NL != nl {
+		r.add(RuleUnplaced, "placement belongs to a different netlist")
+		return
+	}
+	if len(pl.X) != nl.NumCells() || len(pl.Y) != nl.NumCells() {
+		r.add(RuleUnplaced, "placement covers %d of %d cells", min(len(pl.X), len(pl.Y)), nl.NumCells())
+		return
+	}
+	stacked := make(map[[2]float64][]int)
+	for i := range pl.X {
+		x, y := pl.X[i], pl.Y[i]
+		switch {
+		case math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0):
+			r.add(RuleMisplaced, "cell %q at non-finite (%g, %g)", nl.Insts[i].Name, x, y)
+			continue
+		case x < -1e-6 || x+pl.W[i] > pl.DieW+1e-3:
+			r.add(RuleMisplaced, "cell %q x=%g w=%g outside die width %g", nl.Insts[i].Name, x, pl.W[i], pl.DieW)
+		case y < -1e-6 || y > pl.DieH-pl.RowHeight+1e-3:
+			r.add(RuleMisplaced, "cell %q y=%g outside die height %g", nl.Insts[i].Name, y, pl.DieH)
+		default:
+			if row := y / pl.RowHeight; math.Abs(row-math.Round(row)) > 1e-6 {
+				r.add(RuleMisplaced, "cell %q off the row grid (y=%g)", nl.Insts[i].Name, y)
+			}
+		}
+		stacked[[2]float64{x, y}] = append(stacked[[2]float64{x, y}], i)
+	}
+	// Coarse placement legitimately leaves a handful of coincident
+	// origins (boundary clamping, incrementally placed shifters);
+	// dozens of cells on one origin means the coordinates are bogus.
+	const maxStack = 8
+	for xy, cells := range stacked {
+		if len(cells) > maxStack {
+			r.add(RuleStackedCells, "%d cells stacked at (%g, %g), e.g. %q", len(cells), xy[0], xy[1], nl.Insts[cells[0]].Name)
+		}
+	}
+}
+
+func checkPartition(r *Report, nl *netlist.Netlist, region []int32, shiftersIn bool) {
+	if len(region) != nl.NumCells() {
+		r.add(RuleRegionLen, "region vector covers %d of %d cells", len(region), nl.NumCells())
+		return
+	}
+	if !shiftersIn {
+		return
+	}
+	for n := range nl.Nets {
+		drv := nl.Nets[n].Driver
+		if drv == netlist.NoInst || drv < 0 || drv >= len(nl.Insts) || nl.Cell(drv).IsTie() {
+			continue
+		}
+		for _, s := range nl.Nets[n].Sinks {
+			if s.Inst < 0 || s.Inst >= len(region) {
+				continue // sink bookkeeping rules already fired
+			}
+			// A sink in a lower region than its driver is low-Vdd
+			// while the driver is high in some scenario; the crossing
+			// must be a level shifter input.
+			if region[s.Inst] < region[drv] && nl.Insts[s.Inst].Kind != cell.LvlShift {
+				r.add(RuleMissingLS, "net %q crosses region %d -> %d into %q without a level shifter",
+					nl.Nets[n].Name, region[drv], region[s.Inst], nl.Insts[s.Inst].Name)
+			}
+		}
+	}
+}
+
+func checkDerate(r *Report, nl *netlist.Netlist, derate []float64) {
+	if len(derate) != nl.NumCells() {
+		r.add(RuleDerateLen, "derate vector covers %d of %d cells", len(derate), nl.NumCells())
+		return
+	}
+	for i, d := range derate {
+		if math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+			r.add(RuleDerateVal, "cell %q derate %g is not a positive finite factor", nl.Insts[i].Name, d)
+		}
+	}
+}

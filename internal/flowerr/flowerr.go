@@ -1,0 +1,137 @@
+// Package flowerr defines the typed error taxonomy of the flow
+// runtime. Every package in the flow classifies its failures against
+// the sentinel errors below so that callers — the vipipe.Flow facade,
+// the cmd/ tools, and service frontends — can branch on failure class
+// with errors.Is/errors.As instead of string matching, and map each
+// class to a stable process exit code.
+//
+// The taxonomy:
+//
+//   - ErrBadInput: a caller-supplied artifact (SDF/DEF text, netlist,
+//     placement, option vector) is malformed or inconsistent.
+//   - ErrStepOrder: a flow step ran before its prerequisites.
+//   - ErrCancelled: a context was cancelled or its deadline expired;
+//     partial results may accompany the error.
+//   - ErrWorkerPanic: a worker goroutine panicked; the panic was
+//     recovered and converted into a PanicError.
+//   - ErrNoScenario: characterization found no violation scenario, so
+//     there is nothing for voltage islands to compensate.
+//   - ErrPartialStep: a step failed midway and left the flow state
+//     only partially updated; downstream results are suspect until the
+//     step is redone from a fresh flow.
+//   - ErrDRC: a design-rule check found violations.
+package flowerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel failure classes. Match with errors.Is.
+var (
+	ErrBadInput    = errors.New("bad input")
+	ErrStepOrder   = errors.New("flow step out of order")
+	ErrCancelled   = errors.New("cancelled")
+	ErrWorkerPanic = errors.New("worker panic")
+	ErrNoScenario  = errors.New("no violation scenario")
+	ErrPartialStep = errors.New("partial step failure")
+	ErrDRC         = errors.New("design rule violation")
+)
+
+// classified attaches a failure class to a formatted error while
+// preserving any error wrapped by the message itself (both unwrap).
+type classified struct {
+	kind error // one of the sentinels above
+	err  error
+}
+
+func (e *classified) Error() string   { return e.err.Error() }
+func (e *classified) Unwrap() []error { return []error{e.kind, e.err} }
+
+// Classify wraps err with a failure class. It returns nil when err is
+// nil and err unchanged when it already matches kind.
+func Classify(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, kind) {
+		return err
+	}
+	return &classified{kind: kind, err: err}
+}
+
+func wrapf(kind error, format string, args ...any) error {
+	return &classified{kind: kind, err: fmt.Errorf(format, args...)}
+}
+
+// BadInputf formats an ErrBadInput-classified error.
+func BadInputf(format string, args ...any) error { return wrapf(ErrBadInput, format, args...) }
+
+// StepOrderf formats an ErrStepOrder-classified error.
+func StepOrderf(format string, args ...any) error { return wrapf(ErrStepOrder, format, args...) }
+
+// Cancelledf formats an ErrCancelled-classified error.
+func Cancelledf(format string, args ...any) error { return wrapf(ErrCancelled, format, args...) }
+
+// NoScenariof formats an ErrNoScenario-classified error.
+func NoScenariof(format string, args ...any) error { return wrapf(ErrNoScenario, format, args...) }
+
+// PartialStepf formats an ErrPartialStep-classified error.
+func PartialStepf(format string, args ...any) error { return wrapf(ErrPartialStep, format, args...) }
+
+// DRCf formats an ErrDRC-classified error.
+func DRCf(format string, args ...any) error { return wrapf(ErrDRC, format, args...) }
+
+// PanicError records one recovered worker panic: which sample the
+// worker was processing, the recovered value, and the goroutine stack
+// at the panic site. It matches ErrWorkerPanic under errors.Is.
+type PanicError struct {
+	Sample int    // sample index the worker was computing
+	Value  any    // value passed to panic()
+	Stack  []byte // debug.Stack() captured inside the recover
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic on sample %d: %v", e.Sample, e.Value)
+}
+
+// Is reports that a PanicError belongs to the ErrWorkerPanic class.
+func (e *PanicError) Is(target error) bool { return target == ErrWorkerPanic }
+
+// Exit codes per failure class, for the cmd/ tools.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1 // unclassified
+	ExitBadInput    = 2
+	ExitStepOrder   = 3
+	ExitCancelled   = 4
+	ExitWorkerPanic = 5
+	ExitNoScenario  = 6
+	ExitPartialStep = 7
+	ExitDRC         = 8
+)
+
+// ExitCode maps an error to the process exit code of its failure
+// class. nil maps to 0; an unclassified error to 1.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrBadInput):
+		return ExitBadInput
+	case errors.Is(err, ErrStepOrder):
+		return ExitStepOrder
+	case errors.Is(err, ErrCancelled):
+		return ExitCancelled
+	case errors.Is(err, ErrWorkerPanic):
+		return ExitWorkerPanic
+	case errors.Is(err, ErrNoScenario):
+		return ExitNoScenario
+	case errors.Is(err, ErrPartialStep):
+		return ExitPartialStep
+	case errors.Is(err, ErrDRC):
+		return ExitDRC
+	default:
+		return ExitFailure
+	}
+}

@@ -1,0 +1,92 @@
+package flowerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifiedMatchesSentinelAndWrapped(t *testing.T) {
+	inner := errors.New("inner cause")
+	err := BadInputf("sdf: broken thing: %w", inner)
+	if !errors.Is(err, ErrBadInput) {
+		t.Error("BadInputf does not match ErrBadInput")
+	}
+	if !errors.Is(err, inner) {
+		t.Error("BadInputf loses the wrapped cause")
+	}
+	if errors.Is(err, ErrStepOrder) {
+		t.Error("BadInputf matches an unrelated class")
+	}
+	if want := "sdf: broken thing: inner cause"; err.Error() != want {
+		t.Errorf("message = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestEveryConstructorMatchesItsClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		kind error
+	}{
+		{BadInputf("x"), ErrBadInput},
+		{StepOrderf("x"), ErrStepOrder},
+		{Cancelledf("x"), ErrCancelled},
+		{NoScenariof("x"), ErrNoScenario},
+		{PartialStepf("x"), ErrPartialStep},
+		{DRCf("x"), ErrDRC},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.kind) {
+			t.Errorf("%v does not match %v", c.err, c.kind)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(ErrBadInput, nil) != nil {
+		t.Error("Classify(nil) != nil")
+	}
+	already := BadInputf("x")
+	if Classify(ErrBadInput, already) != already {
+		t.Error("Classify re-wraps an already classified error")
+	}
+	wrapped := Classify(ErrCancelled, context.Canceled)
+	if !errors.Is(wrapped, ErrCancelled) || !errors.Is(wrapped, context.Canceled) {
+		t.Error("Classify loses a class or the cause")
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := &PanicError{Sample: 7, Value: "boom", Stack: []byte("stack")}
+	var err error = fmt.Errorf("mc: %w", pe)
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Error("PanicError does not match ErrWorkerPanic")
+	}
+	var got *PanicError
+	if !errors.As(err, &got) || got.Sample != 7 {
+		t.Errorf("errors.As lost the panic detail: %+v", got)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain"), ExitFailure},
+		{BadInputf("x"), ExitBadInput},
+		{StepOrderf("x"), ExitStepOrder},
+		{Cancelledf("x"), ExitCancelled},
+		{fmt.Errorf("mc: %w", &PanicError{Sample: 1}), ExitWorkerPanic},
+		{NoScenariof("x"), ExitNoScenario},
+		{PartialStepf("x"), ExitPartialStep},
+		{DRCf("x"), ExitDRC},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.code {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.code)
+		}
+	}
+}

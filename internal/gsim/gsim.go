@@ -14,8 +14,10 @@
 package gsim
 
 import (
+	"context"
 	"fmt"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 )
 
@@ -134,12 +136,35 @@ func (s *Simulator) Step() {
 
 // Run applies each vector (a PI-driving callback) for one cycle.
 func (s *Simulator) Run(cycles int, drive func(cycle int, s *Simulator)) {
+	_ = s.RunContext(context.Background(), cycles, drive)
+}
+
+// ctxCheckEvery is how many cycles pass between context polls during a
+// cancellable run: cheap enough to be invisible, frequent enough that
+// cancellation lands within microseconds on any realistic netlist.
+const ctxCheckEvery = 64
+
+// RunContext is Run with cancellation: the cycle loop polls ctx every
+// ctxCheckEvery cycles and stops with an error matching
+// flowerr.ErrCancelled when it expires. Activity accumulated up to the
+// stopping cycle is retained, so a cancelled simulation still reports
+// the toggles it observed.
+func (s *Simulator) RunContext(ctx context.Context, cycles int, drive func(cycle int, s *Simulator)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for c := 0; c < cycles; c++ {
+		if c%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return flowerr.Cancelledf("gsim: cancelled at cycle %d/%d: %w", c, cycles, err)
+			}
+		}
 		if drive != nil {
 			drive(c, s)
 		}
 		s.Step()
 	}
+	return nil
 }
 
 // Cycles returns the number of Steps executed since the last Reset.

@@ -9,11 +9,14 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/sta"
 	"vipipe/internal/stats"
@@ -33,6 +36,16 @@ type Options struct {
 	// the voltage-island generator uses this to verify that a
 	// candidate high-Vdd slice compensates a violation scenario.
 	Domains []cell.Domain
+	// PanicTolerance is the number of samples allowed to fail with a
+	// recovered worker panic before the whole run errors out. Within
+	// the tolerance a panicked sample degrades to a skip recorded in
+	// Result.Skipped. Zero (the default) tolerates none.
+	PanicTolerance int
+
+	// hookSample, when set by tests, runs at the top of every sample
+	// computation; it may panic (exercising recovery) or cancel a
+	// context (exercising mid-run cancellation).
+	hookSample func(sample int)
 }
 
 // StageDist is the sampled slack distribution of one pipeline stage.
@@ -58,7 +71,16 @@ func (d *StageDist) Violates(alpha float64) bool {
 type Result struct {
 	Pos     variation.Pos
 	ClockPS float64
+	// Samples counts the chip samples that actually contributed to
+	// the distributions. It equals Requested on a clean run, and is
+	// smaller when samples were skipped (worker panics within the
+	// tolerance) or the run was cancelled midway.
 	Samples int
+	// Requested is the sample count the run was asked for.
+	Requested int
+	// Skipped lists the sample indices dropped by recovered worker
+	// panics (within Options.PanicTolerance).
+	Skipped []int
 
 	PerStage map[netlist.Stage]*StageDist
 	// CritPS is the distribution of the global critical path delay.
@@ -74,18 +96,34 @@ type Result struct {
 }
 
 // Run performs the Monte Carlo SSTA for a core placed at pos.
-func Run(a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Options) (*Result, error) {
+//
+// The run honors ctx: cancellation or deadline expiry stops dispatch
+// immediately and in-flight workers abandon their queues at the next
+// sample boundary, so Run returns within roughly one sample's latency.
+// On cancellation the error matches flowerr.ErrCancelled and the
+// returned Result (non-nil when at least one sample finished) holds
+// the distributions over the samples completed so far.
+//
+// A panic inside a worker is recovered and converted into a
+// flowerr.PanicError carrying the sample index and stack. Up to
+// Options.PanicTolerance panicked samples degrade to skips recorded in
+// Result.Skipped; beyond that Run fails with an error matching
+// flowerr.ErrWorkerPanic.
+func Run(ctx context.Context, a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Samples < 2 {
-		return nil, fmt.Errorf("mc: need at least 2 samples, got %d", opts.Samples)
+		return nil, flowerr.BadInputf("mc: need at least 2 samples, got %d", opts.Samples)
 	}
 	if opts.ClockPS <= 0 {
-		return nil, fmt.Errorf("mc: clock period %g must be positive", opts.ClockPS)
+		return nil, flowerr.BadInputf("mc: clock period %g must be positive", opts.ClockPS)
 	}
 	if opts.Derate != nil && len(opts.Derate) != a.NL.NumCells() {
-		return nil, fmt.Errorf("mc: derate length %d != %d cells", len(opts.Derate), a.NL.NumCells())
+		return nil, flowerr.BadInputf("mc: derate length %d != %d cells", len(opts.Derate), a.NL.NumCells())
 	}
 	if opts.Domains != nil && len(opts.Domains) != a.NL.NumCells() {
-		return nil, fmt.Errorf("mc: domains length %d != %d cells", len(opts.Domains), a.NL.NumCells())
+		return nil, flowerr.BadInputf("mc: domains length %d != %d cells", len(opts.Domains), a.NL.NumCells())
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -103,6 +141,8 @@ func Run(a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Option
 		stageWorst map[netlist.Stage]int
 		crit       float64
 		violators  []int
+		done       bool
+		panicked   *flowerr.PanicError
 	}
 	outs := make([]sampleOut, opts.Samples)
 
@@ -114,7 +154,19 @@ func Run(a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Option
 			defer wg.Done()
 			rep := &sta.Report{}
 			scale := make([]float64, nCells)
-			for k := range idx {
+			// sample is split out so a recovered panic discards one
+			// chip instance, not the worker's whole queue.
+			sample := func(k int) {
+				defer func() {
+					if r := recover(); r != nil {
+						outs[k].panicked = &flowerr.PanicError{
+							Sample: k, Value: r, Stack: debug.Stack(),
+						}
+					}
+				}()
+				if opts.hookSample != nil {
+					opts.hookSample(k)
+				}
 				rng := stats.DeriveStream(opts.Seed, fmt.Sprintf("mc/%s/%d", pos.Name, k))
 				lg := model.SampleChip(a.PL, pos, rng)
 				for i := 0; i < nCells; i++ {
@@ -144,27 +196,69 @@ func Run(a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Option
 						o.violators = append(o.violators, ep.Inst)
 					}
 				}
+				o.done = true
 				outs[k] = o
+			}
+			for k := range idx {
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
+				sample(k)
 			}
 		}()
 	}
+dispatch:
 	for k := 0; k < opts.Samples; k++ {
-		idx <- k
+		select {
+		case idx <- k:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
 
+	var firstPanic *flowerr.PanicError
+	var skipped []int
+	completed := 0
+	for k := range outs {
+		switch {
+		case outs[k].done:
+			completed++
+		case outs[k].panicked != nil:
+			if firstPanic == nil {
+				firstPanic = outs[k].panicked
+			}
+			skipped = append(skipped, k)
+		}
+	}
+	if len(skipped) > opts.PanicTolerance {
+		return nil, flowerr.Classify(flowerr.ErrWorkerPanic, fmt.Errorf(
+			"mc: %d of %d samples panicked (tolerance %d): %w",
+			len(skipped), opts.Samples, opts.PanicTolerance, firstPanic))
+	}
+	if completed < 2 && ctx.Err() == nil {
+		return nil, flowerr.Classify(flowerr.ErrWorkerPanic, fmt.Errorf(
+			"mc: only %d of %d samples usable after skips: %w",
+			completed, opts.Samples, firstPanic))
+	}
+
 	res := &Result{
 		Pos:                pos,
 		ClockPS:            opts.ClockPS,
-		Samples:            opts.Samples,
+		Samples:            completed,
+		Requested:          opts.Samples,
+		Skipped:            skipped,
 		PerStage:           make(map[netlist.Stage]*StageDist),
-		CritPS:             make([]float64, opts.Samples),
+		CritPS:             make([]float64, 0, completed),
 		EndpointViolations: make(map[int]int),
 		StageCriticals:     make(map[netlist.Stage]map[int]int),
 	}
-	for k, o := range outs {
-		res.CritPS[k] = o.crit
+	for _, o := range outs {
+		if !o.done {
+			continue
+		}
+		res.CritPS = append(res.CritPS, o.crit)
 		for st, sl := range o.stageSlack {
 			d := res.PerStage[st]
 			if d == nil {
@@ -186,7 +280,15 @@ func Run(a *sta.Analyzer, model *variation.Model, pos variation.Pos, opts Option
 		}
 	}
 	for _, d := range res.PerStage {
-		d.finalize(opts.Samples)
+		d.finalize(completed)
+	}
+	if err := ctx.Err(); err != nil {
+		if completed == 0 {
+			res = nil
+		}
+		return res, flowerr.Classify(flowerr.ErrCancelled, fmt.Errorf(
+			"mc: position %s cancelled after %d/%d samples: %w",
+			pos.Name, completed, opts.Samples, err))
 	}
 	return res, nil
 }

@@ -1,10 +1,14 @@
 package mc
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/place"
 	"vipipe/internal/sta"
@@ -43,7 +47,7 @@ func coreFixture(t *testing.T) *fixture {
 
 func (f *fixture) run(t *testing.T, pos variation.Pos, samples int) *Result {
 	t.Helper()
-	res, err := Run(f.a, &f.model, pos, Options{
+	res, err := Run(context.Background(), f.a, &f.model, pos, Options{
 		Samples: samples, Seed: 11, ClockPS: f.clock, Derate: f.derate,
 	})
 	if err != nil {
@@ -54,13 +58,13 @@ func (f *fixture) run(t *testing.T, pos variation.Pos, samples int) *Result {
 
 func TestRunValidation(t *testing.T) {
 	f := coreFixture(t)
-	if _, err := Run(f.a, &f.model, variation.Pos{}, Options{Samples: 1, ClockPS: 100}); err == nil {
+	if _, err := Run(context.Background(), f.a, &f.model, variation.Pos{}, Options{Samples: 1, ClockPS: 100}); err == nil {
 		t.Error("1 sample accepted")
 	}
-	if _, err := Run(f.a, &f.model, variation.Pos{}, Options{Samples: 10, ClockPS: 0}); err == nil {
+	if _, err := Run(context.Background(), f.a, &f.model, variation.Pos{}, Options{Samples: 10, ClockPS: 0}); err == nil {
 		t.Error("zero clock accepted")
 	}
-	if _, err := Run(f.a, &f.model, variation.Pos{}, Options{Samples: 10, ClockPS: 100, Derate: []float64{1}}); err == nil {
+	if _, err := Run(context.Background(), f.a, &f.model, variation.Pos{}, Options{Samples: 10, ClockPS: 100, Derate: []float64{1}}); err == nil {
 		t.Error("bad derate length accepted")
 	}
 }
@@ -166,7 +170,7 @@ func TestDepthAveragesOutRandomVariation(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := variation.Default()
-	res, err := Run(a, &m, m.DiagonalPositions()[0], Options{Samples: 300, Seed: 2, ClockPS: 10000})
+	res, err := Run(context.Background(), a, &m, m.DiagonalPositions()[0], Options{Samples: 300, Seed: 2, ClockPS: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +188,11 @@ func TestDepthAveragesOutRandomVariation(t *testing.T) {
 func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	f := coreFixture(t)
 	pos := f.model.DiagonalPositions()[1]
-	r1, err := Run(f.a, &f.model, pos, Options{Samples: 40, Seed: 5, ClockPS: f.clock, Derate: f.derate, Workers: 1})
+	r1, err := Run(context.Background(), f.a, &f.model, pos, Options{Samples: 40, Seed: 5, ClockPS: f.clock, Derate: f.derate, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r8, err := Run(f.a, &f.model, pos, Options{Samples: 40, Seed: 5, ClockPS: f.clock, Derate: f.derate, Workers: 8})
+	r8, err := Run(context.Background(), f.a, &f.model, pos, Options{Samples: 40, Seed: 5, ClockPS: f.clock, Derate: f.derate, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,6 +301,111 @@ func TestKSFieldPopulated(t *testing.T) {
 		}
 		if d.KS.PValue < 0 || d.KS.PValue > 1 {
 			t.Errorf("%v: KS p-value %g out of range", st, d.KS.PValue)
+		}
+	}
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	f := coreFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, f.a, &f.model, f.model.DiagonalPositions()[0], Options{
+		Samples: 40, Seed: 1, ClockPS: f.clock, Derate: f.derate,
+	})
+	if !errors.Is(err, flowerr.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res != nil {
+		t.Errorf("pre-cancelled run returned %d samples, want nil result", res.Samples)
+	}
+}
+
+func TestRunCancelledMidRunReturnsPartial(t *testing.T) {
+	f := coreFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Int32
+	res, err := Run(ctx, f.a, &f.model, f.model.DiagonalPositions()[0], Options{
+		Samples: 40, Seed: 1, ClockPS: f.clock, Derate: f.derate, Workers: 2,
+		hookSample: func(int) {
+			if fired.Add(1) == 5 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, flowerr.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if res == nil {
+		t.Fatal("mid-run cancellation lost the partial result")
+	}
+	if res.Samples == 0 || res.Samples >= res.Requested {
+		t.Errorf("partial result has %d/%d samples", res.Samples, res.Requested)
+	}
+	if len(res.CritPS) != res.Samples {
+		t.Errorf("CritPS has %d entries for %d samples", len(res.CritPS), res.Samples)
+	}
+	for _, d := range res.PerStage {
+		if len(d.SlackPS) != res.Samples {
+			t.Errorf("stage %v has %d slacks for %d samples", d.Stage, len(d.SlackPS), res.Samples)
+		}
+	}
+}
+
+func TestRunWorkerPanicBeyondTolerance(t *testing.T) {
+	f := coreFixture(t)
+	res, err := Run(context.Background(), f.a, &f.model, f.model.DiagonalPositions()[1], Options{
+		Samples: 20, Seed: 1, ClockPS: f.clock, Derate: f.derate, Workers: 2,
+		hookSample: func(k int) {
+			if k == 3 {
+				panic("injected fault")
+			}
+		},
+	})
+	if res != nil {
+		t.Error("panicked run beyond tolerance returned a result")
+	}
+	if !errors.Is(err, flowerr.ErrWorkerPanic) {
+		t.Fatalf("err = %v, want ErrWorkerPanic", err)
+	}
+	var pe *flowerr.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatal("no PanicError in chain")
+	}
+	if pe.Sample != 3 {
+		t.Errorf("panic sample = %d, want 3", pe.Sample)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+}
+
+func TestRunWorkerPanicWithinToleranceSkips(t *testing.T) {
+	f := coreFixture(t)
+	res, err := Run(context.Background(), f.a, &f.model, f.model.DiagonalPositions()[1], Options{
+		Samples: 20, Seed: 1, ClockPS: f.clock, Derate: f.derate, Workers: 2,
+		PanicTolerance: 2,
+		hookSample: func(k int) {
+			if k == 3 || k == 7 {
+				panic("injected fault")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("tolerated panics still errored: %v", err)
+	}
+	if res.Samples != 18 || res.Requested != 20 {
+		t.Errorf("samples = %d/%d, want 18/20", res.Samples, res.Requested)
+	}
+	if len(res.Skipped) != 2 || res.Skipped[0] != 3 || res.Skipped[1] != 7 {
+		t.Errorf("skipped = %v, want [3 7]", res.Skipped)
+	}
+	if len(res.CritPS) != 18 {
+		t.Errorf("CritPS has %d entries", len(res.CritPS))
+	}
+	for _, d := range res.PerStage {
+		if d.FitErr != nil {
+			t.Errorf("stage %v fit failed on skip-degraded run: %v", d.Stage, d.FitErr)
 		}
 	}
 }

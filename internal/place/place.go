@@ -226,6 +226,11 @@ func (p *Placement) Validate() error {
 		return fmt.Errorf("place: %d coordinates for %d cells", len(p.X), p.NL.NumCells())
 	}
 	for i := range p.X {
+		// NaN fails every ordered comparison below, so reject
+		// non-finite coordinates explicitly.
+		if math.IsNaN(p.X[i]) || math.IsNaN(p.Y[i]) || math.IsInf(p.X[i], 0) || math.IsInf(p.Y[i], 0) {
+			return fmt.Errorf("place: cell %d at non-finite (%g, %g)", i, p.X[i], p.Y[i])
+		}
 		if p.X[i] < -1e-6 || p.X[i]+p.W[i] > p.DieW+1e-3 {
 			return fmt.Errorf("place: cell %d x=%g w=%g outside die width %g", i, p.X[i], p.W[i], p.DieW)
 		}

@@ -1,6 +1,7 @@
 package razor
 
 import (
+	"context"
 	"testing"
 
 	"vipipe/internal/cell"
@@ -40,7 +41,7 @@ func newFixture(t *testing.T) *fixture {
 	clock := a.Run(1e9, nil).CritPS * 1.001
 	derate := a.SlackRecovery(clock, sta.DefaultRecoveryTargets(), 12, 25)
 	model := variation.Default()
-	resA, err := mc.Run(a, &model, model.DiagonalPositions()[0], mc.Options{
+	resA, err := mc.Run(context.Background(), a, &model, model.DiagonalPositions()[0], mc.Options{
 		Samples: 200, Seed: 4, ClockPS: clock, Derate: derate,
 	})
 	if err != nil {

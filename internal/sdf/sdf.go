@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 )
 
@@ -30,12 +31,12 @@ type File struct {
 // possibly pre-scaled by a variation model).
 func Write(w io.Writer, nl *netlist.Netlist, delaysPS []float64) error {
 	if len(delaysPS) != nl.NumCells() {
-		return fmt.Errorf("sdf: %d delays for %d instances", len(delaysPS), nl.NumCells())
+		return flowerr.BadInputf("sdf: %d delays for %d instances", len(delaysPS), nl.NumCells())
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "(DELAYFILE\n")
 	fmt.Fprintf(bw, "  (SDFVERSION \"2.1\")\n")
-	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", nl.Name)
+	fmt.Fprintf(bw, "  (DESIGN \"%s\")\n", escape(nl.Name))
 	fmt.Fprintf(bw, "  (TIMESCALE 1ps)\n")
 	for i := range nl.Insts {
 		inst := &nl.Insts[i]
@@ -72,20 +73,20 @@ func Parse(r io.Reader) (*File, error) {
 		return nil, err
 	}
 	if kw := p.next(); kw != "DELAYFILE" {
-		return nil, fmt.Errorf("sdf: expected DELAYFILE, got %q", kw)
+		return nil, flowerr.BadInputf("sdf: expected DELAYFILE, got %q", kw)
 	}
 	for {
 		t := p.next()
 		switch t {
 		case "":
-			return nil, fmt.Errorf("sdf: unexpected end of file")
+			return nil, flowerr.BadInputf("sdf: unexpected end of file")
 		case ")":
 			return f, nil
 		case "(":
 			kw := p.next()
 			switch kw {
 			case "DESIGN":
-				f.Design = strings.Trim(p.next(), `"`)
+				f.Design = unescape(strings.Trim(p.next(), `"`))
 				if err := p.expect(")"); err != nil {
 					return nil, err
 				}
@@ -94,6 +95,11 @@ func Parse(r io.Reader) (*File, error) {
 				ps, err := parseTimescale(scale)
 				if err != nil {
 					return nil, err
+				}
+				if ps <= 0 {
+					// A zero or negative timescale would silently null
+					// every delay in the file.
+					return nil, flowerr.BadInputf("sdf: non-positive timescale %q", scale)
 				}
 				f.TimescalePS = ps
 				if err := p.expect(")"); err != nil {
@@ -111,7 +117,7 @@ func Parse(r io.Reader) (*File, error) {
 				p.skipBalanced(1)
 			}
 		default:
-			return nil, fmt.Errorf("sdf: unexpected token %q", t)
+			return nil, flowerr.BadInputf("sdf: unexpected token %q", t)
 		}
 	}
 }
@@ -121,12 +127,18 @@ func parseTimescale(s string) (float64, error) {
 	switch {
 	case strings.HasSuffix(s, "ps"):
 		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ps"), 64)
-		return v, err
+		if err != nil {
+			return 0, flowerr.BadInputf("sdf: bad timescale %q", s)
+		}
+		return v, nil
 	case strings.HasSuffix(s, "ns"):
 		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ns"), 64)
-		return v * 1000, err
+		if err != nil {
+			return 0, flowerr.BadInputf("sdf: bad timescale %q", s)
+		}
+		return v * 1000, nil
 	default:
-		return 0, fmt.Errorf("sdf: unsupported timescale %q", s)
+		return 0, flowerr.BadInputf("sdf: unsupported timescale %q", s)
 	}
 }
 
@@ -146,7 +158,7 @@ func (f *File) Scales(nl *netlist.Netlist, nominalPS func(i int) float64) ([]flo
 	for name, d := range f.DelaysPS {
 		i, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("sdf: instance %q not in netlist", name)
+			return nil, flowerr.BadInputf("sdf: instance %q not in netlist", name)
 		}
 		nom := nominalPS(i)
 		if nom > 0 {
@@ -172,7 +184,7 @@ func (p *parser) next() string {
 
 func (p *parser) expect(t string) error {
 	if got := p.next(); got != t {
-		return fmt.Errorf("sdf: expected %q, got %q", t, got)
+		return flowerr.BadInputf("sdf: expected %q, got %q", t, got)
 	}
 	return nil
 }
@@ -217,7 +229,7 @@ func (p *parser) parseCell() (string, float64, error) {
 				p.skipBalanced(1)
 			}
 		case "":
-			return "", 0, fmt.Errorf("sdf: unexpected EOF in CELL")
+			return "", 0, flowerr.BadInputf("sdf: unexpected EOF in CELL")
 		}
 	}
 }
@@ -235,13 +247,13 @@ func (p *parser) parseDelay() (float64, error) {
 		case ")":
 			depth--
 		case "":
-			return 0, fmt.Errorf("sdf: unexpected EOF in DELAY")
+			return 0, flowerr.BadInputf("sdf: unexpected EOF in DELAY")
 		default:
 			if strings.Contains(t, ":") {
 				parts := strings.Split(t, ":")
 				v, err := strconv.ParseFloat(parts[len(parts)-1], 64)
 				if err != nil {
-					return 0, fmt.Errorf("sdf: bad delay triple %q", t)
+					return 0, flowerr.BadInputf("sdf: bad delay triple %q", t)
 				}
 				delay = v
 			}
@@ -274,7 +286,7 @@ func tokenize(r io.Reader) ([]string, error) {
 		case '\\':
 			nxt, _, err := br.ReadRune()
 			if err != nil {
-				return nil, fmt.Errorf("sdf: trailing escape")
+				return nil, flowerr.BadInputf("sdf: trailing escape")
 			}
 			cur.WriteRune('\\')
 			cur.WriteRune(nxt)

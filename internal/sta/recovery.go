@@ -1,8 +1,10 @@
 package sta
 
 import (
+	"context"
 	"math"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 )
 
@@ -43,6 +45,19 @@ func DefaultRecoveryTargets() RecoveryTargets {
 // the per-cell slowdown (bounding how much a sizing/Vt swap could
 // plausibly slow a cell); iterations bounds the relaxation loop.
 func (a *Analyzer) SlackRecovery(clockPS float64, targets RecoveryTargets, maxDerate float64, iterations int) []float64 {
+	derate, _ := a.SlackRecoveryCtx(context.Background(), clockPS, targets, maxDerate, iterations)
+	return derate
+}
+
+// SlackRecoveryCtx is SlackRecovery with cancellation: the incremental
+// re-analysis loop (one full timing run plus a backward required-time
+// pass per iteration) checks ctx between iterations and returns the
+// derate vector relaxed so far together with an error matching
+// flowerr.ErrCancelled when the context expires mid-loop.
+func (a *Analyzer) SlackRecoveryCtx(ctx context.Context, clockPS float64, targets RecoveryTargets, maxDerate float64, iterations int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := a.NL.NumCells()
 	derate := make([]float64, n)
 	for i := range derate {
@@ -64,6 +79,9 @@ func (a *Analyzer) SlackRecovery(clockPS float64, targets RecoveryTargets, maxDe
 	rep := &Report{}
 	const tolPS = 2.0
 	for iter := 0; iter < iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return derate, flowerr.Cancelledf("sta: slack recovery cancelled after %d/%d iterations: %w", iter, iterations, err)
+		}
 		a.RunInto(rep, clockPS, derate)
 		req := a.requiredTimes(rep, derate, tau)
 		changed := false
@@ -116,7 +134,7 @@ func (a *Analyzer) SlackRecovery(clockPS float64, targets RecoveryTargets, maxDe
 			break
 		}
 	}
-	return derate
+	return derate, nil
 }
 
 // requiredTimes runs the backward pass: the latest time each net may

@@ -1,8 +1,10 @@
 package vexsim
 
 import (
+	"context"
 	"fmt"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/gsim"
 	"vipipe/internal/vex"
 )
@@ -81,9 +83,25 @@ func (tb *Testbench) Step() {
 
 // Run executes n cycles.
 func (tb *Testbench) Run(n int) {
+	_ = tb.RunContext(context.Background(), n)
+}
+
+// RunContext executes up to n cycles, polling ctx every 64 cycles and
+// stopping with an error matching flowerr.ErrCancelled when it
+// expires. Memory state and switching activity reflect the cycles run.
+func (tb *Testbench) RunContext(ctx context.Context, n int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i := 0; i < n; i++ {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return flowerr.Cancelledf("vexsim: cancelled at cycle %d/%d: %w", i, n, err)
+			}
+		}
 		tb.Step()
 	}
+	return nil
 }
 
 // Reg reads architectural register r from the netlist state.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/place"
 )
@@ -29,13 +30,13 @@ import (
 func (p *Partition) InsertShifters(pl *place.Placement) (int, error) {
 	nl := p.nl
 	if pl.NL != nl {
-		return 0, fmt.Errorf("vi: placement belongs to a different netlist")
+		return 0, flowerr.BadInputf("vi: placement belongs to a different netlist")
 	}
 	if p.shiftersDone {
-		return 0, fmt.Errorf("vi: level shifters already inserted for this partition")
+		return 0, flowerr.StepOrderf("vi: level shifters already inserted for this partition")
 	}
 	if len(p.Region) != nl.NumCells() {
-		return 0, fmt.Errorf("vi: partition covers %d of %d cells", len(p.Region), nl.NumCells())
+		return 0, flowerr.BadInputf("vi: partition covers %d of %d cells", len(p.Region), nl.NumCells())
 	}
 	p.shiftersDone = true
 	numNets := nl.NumNets() // snapshot: we append nets while iterating

@@ -15,10 +15,12 @@
 package vi
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
 	"vipipe/internal/place"
@@ -173,13 +175,20 @@ func (o *Options) setDefaults() {
 // scenarios in increasing severity (the paper uses C, B, A: one
 // position per number of violating stages). The returned partition has
 // one island per scenario.
-func Generate(a *sta.Analyzer, model *variation.Model, scenarioPos []variation.Pos, opts Options) (*Partition, error) {
+//
+// Every compensation check is a Monte Carlo run under ctx, so
+// cancelling it aborts the binary search within one sample's latency
+// with an error matching flowerr.ErrCancelled.
+func Generate(ctx context.Context, a *sta.Analyzer, model *variation.Model, scenarioPos []variation.Pos, opts Options) (*Partition, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts.setDefaults()
 	if len(scenarioPos) == 0 {
-		return nil, fmt.Errorf("vi: no violation scenarios to compensate")
+		return nil, flowerr.NoScenariof("vi: no violation scenarios to compensate")
 	}
 	if opts.ClockPS <= 0 {
-		return nil, fmt.Errorf("vi: clock period %g must be positive", opts.ClockPS)
+		return nil, flowerr.BadInputf("vi: clock period %g must be positive", opts.ClockPS)
 	}
 	nl, pl := a.NL, a.PL
 	p := &Partition{
@@ -248,7 +257,7 @@ func Generate(a *sta.Analyzer, model *variation.Model, scenarioPos []variation.P
 				domains[i] = cell.DomainHigh
 			}
 		}
-		res, err := mc.Run(a, model, pos, mc.Options{
+		res, err := mc.Run(ctx, a, model, pos, mc.Options{
 			Samples: opts.Samples,
 			Seed:    opts.Seed,
 			ClockPS: opts.ClockPS,

@@ -1,6 +1,7 @@
 package vi
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func (f *fixture) scenarioPositions() []variation.Pos {
 
 func (f *fixture) generate(t *testing.T, strat Strategy) *Partition {
 	t.Helper()
-	p, err := Generate(f.a, &f.model, f.scenarioPositions(), Options{
+	p, err := Generate(context.Background(), f.a, &f.model, f.scenarioPositions(), Options{
 		Strategy: strat,
 		ClockPS:  f.clock,
 		Derate:   f.derate,
@@ -64,10 +65,10 @@ func (f *fixture) generate(t *testing.T, strat Strategy) *Partition {
 
 func TestGenerateValidation(t *testing.T) {
 	f := newFixture(t)
-	if _, err := Generate(f.a, &f.model, nil, Options{ClockPS: f.clock}); err == nil {
+	if _, err := Generate(context.Background(), f.a, &f.model, nil, Options{ClockPS: f.clock}); err == nil {
 		t.Error("no scenarios accepted")
 	}
-	if _, err := Generate(f.a, &f.model, f.scenarioPositions(), Options{}); err == nil {
+	if _, err := Generate(context.Background(), f.a, &f.model, f.scenarioPositions(), Options{}); err == nil {
 		t.Error("zero clock accepted")
 	}
 }
@@ -123,7 +124,7 @@ func TestIslandsCompensateScenarios(t *testing.T) {
 	positions := f.scenarioPositions()
 	for k, pos := range positions {
 		domains := p.Domains(k + 1)
-		res, err := mc.Run(f.a, &f.model, pos, mc.Options{
+		res, err := mc.Run(context.Background(), f.a, &f.model, pos, mc.Options{
 			Samples: 60, Seed: 10, ClockPS: f.clock, Derate: f.derate, Domains: domains,
 		})
 		if err != nil {
@@ -147,7 +148,7 @@ func TestFewerIslandsDoNotCompensateWorstCase(t *testing.T) {
 	f := newFixture(t)
 	p := f.generate(t, Vertical)
 	a := f.scenarioPositions()[2] // point A
-	res, err := mc.Run(f.a, &f.model, a, mc.Options{
+	res, err := mc.Run(context.Background(), f.a, &f.model, a, mc.Options{
 		Samples: 60, Seed: 10, ClockPS: f.clock, Derate: f.derate, Domains: p.Domains(1),
 	})
 	if err != nil {
@@ -305,7 +306,7 @@ func TestStrategyAndSideStrings(t *testing.T) {
 func TestForceSide(t *testing.T) {
 	f := newFixture(t)
 	side := Right
-	p, err := Generate(f.a, &f.model, f.scenarioPositions()[:1], Options{
+	p, err := Generate(context.Background(), f.a, &f.model, f.scenarioPositions()[:1], Options{
 		Strategy: Vertical, ClockPS: f.clock, Derate: f.derate, Samples: 30, Seed: 3,
 		ForceSide: &side,
 	})

@@ -13,23 +13,32 @@
 // insertion (see DESIGN.md for the system inventory and EXPERIMENTS.md
 // for the reproduced tables and figures).
 //
-// The Flow type walks the methodology of the paper's Fig. 1:
+// The Flow type walks the methodology of the paper's Fig. 1. Every
+// step takes a context: long runs are cancellable and deadline-bounded
+// (errors match flowerr.ErrCancelled), steps run out of order fail
+// with flowerr.ErrStepOrder, and worker panics inside the Monte Carlo
+// engine degrade to skipped samples up to Config.PanicTolerance:
 //
+//	ctx := context.Background()
 //	flow := vipipe.New(vipipe.DefaultConfig())
-//	flow.Synthesize()          // performance-optimized netlist
-//	flow.Place()               // coarse placement
-//	flow.Analyze()             // STA, clock selection, power recovery
-//	flow.Characterize()        // Monte Carlo SSTA at chip positions A-D
-//	part := flow.GenerateIslands(vi.Vertical)  // island generation
-//	flow.InsertShifters(part)  // level shifters + incremental placement
-//	flow.SimulateWorkload()    // FIR benchmark switching activity
-//	rep := flow.ScenarioPower(part, 2, flow.Position("B"))
+//	flow.Synthesize(ctx)          // performance-optimized netlist
+//	flow.Place(ctx)               // coarse placement
+//	flow.Analyze(ctx)             // STA, clock selection, power recovery
+//	flow.Characterize(ctx)        // Monte Carlo SSTA at chip positions A-D
+//	part, _ := flow.GenerateIslands(ctx, vi.Vertical)  // island generation
+//	flow.InsertShifters(ctx, part) // level shifters + incremental placement
+//	flow.SimulateWorkload(ctx)     // FIR benchmark switching activity
+//	pos, _ := flow.Position("B")
+//	rep, _ := flow.ScenarioPower(part, 2, pos)
 package vipipe
 
 import (
+	"context"
 	"fmt"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/drc"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
 	"vipipe/internal/place"
@@ -58,6 +67,12 @@ type Config struct {
 	// Monte Carlo characterization.
 	MCSamples int
 	Seed      int64
+
+	// PanicTolerance is the number of Monte Carlo samples per position
+	// that may be lost to recovered worker panics before
+	// Characterize fails (see mc.Options.PanicTolerance). Zero
+	// tolerates none.
+	PanicTolerance int
 
 	// FIR workload (paper: power measured on a FIR benchmark).
 	FIRSamples int
@@ -127,18 +142,23 @@ func New(cfg Config) *Flow {
 	return &Flow{Cfg: cfg, Lib: cell.Default65nm()}
 }
 
-// Position returns the named chip position of the variation model.
-func (f *Flow) Position(name string) variation.Pos {
+// Position returns the named chip position of the variation model, or
+// an error matching flowerr.ErrBadInput for a name the model does not
+// define.
+func (f *Flow) Position(name string) (variation.Pos, error) {
 	for _, p := range f.Cfg.Model.DiagonalPositions() {
 		if p.Name == name {
-			return p
+			return p, nil
 		}
 	}
-	return variation.Pos{Name: name}
+	return variation.Pos{}, flowerr.BadInputf("vipipe: unknown chip position %q (model defines A-D)", name)
 }
 
 // Synthesize builds the performance-optimized gate-level core.
-func (f *Flow) Synthesize() error {
+func (f *Flow) Synthesize(ctx context.Context) error {
+	if err := ctxErr(ctx, "Synthesize"); err != nil {
+		return err
+	}
 	core, err := vex.Build(f.Cfg.Core, f.Lib)
 	if err != nil {
 		return err
@@ -149,9 +169,12 @@ func (f *Flow) Synthesize() error {
 }
 
 // Place runs global placement (the paper's physical-synthesis step).
-func (f *Flow) Place() error {
+func (f *Flow) Place(ctx context.Context) error {
 	if f.NL == nil {
-		return fmt.Errorf("vipipe: Place before Synthesize")
+		return flowerr.StepOrderf("vipipe: Place before Synthesize")
+	}
+	if err := ctxErr(ctx, "Place"); err != nil {
+		return err
 	}
 	pl, err := place.Global(f.NL, f.Cfg.Place)
 	if err != nil {
@@ -164,9 +187,12 @@ func (f *Flow) Place() error {
 // Analyze runs nominal STA, fixes the clock at the critical path plus
 // guard, and applies slack recovery so every stage sits near its wall
 // (the paper's performance-optimized starting point, Fig. 3 setup).
-func (f *Flow) Analyze() error {
+func (f *Flow) Analyze(ctx context.Context) error {
 	if f.PL == nil {
-		return fmt.Errorf("vipipe: Analyze before Place")
+		return flowerr.StepOrderf("vipipe: Analyze before Place")
+	}
+	if err := ctxErr(ctx, "Analyze"); err != nil {
+		return err
 	}
 	a, err := sta.New(f.NL, f.PL)
 	if err != nil {
@@ -176,15 +202,21 @@ func (f *Flow) Analyze() error {
 	nominal := a.Run(1e12, nil)
 	f.ClockPS = nominal.CritPS * (1 + f.Cfg.ClockGuard)
 	f.FmaxMHz = sta.FmaxMHz(f.ClockPS)
-	f.Derate = a.SlackRecovery(f.ClockPS, f.Cfg.Recovery, f.Cfg.MaxDerate, 25)
+	f.Derate, err = a.SlackRecoveryCtx(ctx, f.ClockPS, f.Cfg.Recovery, f.Cfg.MaxDerate, 25)
+	if err != nil {
+		f.Derate = nil // half-relaxed wall would skew every later result
+		return err
+	}
 	return nil
 }
 
 // Characterize runs the Monte Carlo SSTA at every diagonal position
-// and derives the scenario ladder (paper Sections 4.3-4.4).
-func (f *Flow) Characterize() error {
+// and derives the scenario ladder (paper Sections 4.3-4.4). On
+// cancellation the positions characterized so far remain in f.MC, and
+// the error matches flowerr.ErrCancelled.
+func (f *Flow) Characterize(ctx context.Context) error {
 	if f.STA == nil {
-		return fmt.Errorf("vipipe: Characterize before Analyze")
+		return flowerr.StepOrderf("vipipe: Characterize before Analyze")
 	}
 	f.MC = make(map[string]*mc.Result)
 	type classified struct {
@@ -193,16 +225,21 @@ func (f *Flow) Characterize() error {
 	}
 	var ladder []classified
 	for _, pos := range f.Cfg.Model.DiagonalPositions() {
-		res, err := mc.Run(f.STA, &f.Cfg.Model, pos, mc.Options{
-			Samples: f.Cfg.MCSamples,
-			Seed:    f.Cfg.Seed,
-			ClockPS: f.ClockPS,
-			Derate:  f.Derate,
+		res, err := mc.Run(ctx, f.STA, &f.Cfg.Model, pos, mc.Options{
+			Samples:        f.Cfg.MCSamples,
+			Seed:           f.Cfg.Seed,
+			ClockPS:        f.ClockPS,
+			Derate:         f.Derate,
+			PanicTolerance: f.Cfg.PanicTolerance,
 		})
+		if res != nil {
+			// On cancellation mc.Run still returns the samples it
+			// completed; keep them so the caller sees partial progress.
+			f.MC[pos.Name] = res
+		}
 		if err != nil {
 			return err
 		}
-		f.MC[pos.Name] = res
 		sc, _ := res.Classify(0)
 		ladder = append(ladder, classified{pos, sc})
 	}
@@ -224,7 +261,7 @@ func (f *Flow) Characterize() error {
 		}
 	}
 	if len(f.ScenarioPositions) == 0 {
-		return fmt.Errorf("vipipe: no violation scenarios found — nothing to compensate")
+		return flowerr.NoScenariof("vipipe: no violation scenarios found — nothing to compensate")
 	}
 	return nil
 }
@@ -234,18 +271,18 @@ func (f *Flow) Characterize() error {
 func (f *Flow) SensorPlan() (*razor.Plan, error) {
 	resA, ok := f.MC["A"]
 	if !ok {
-		return nil, fmt.Errorf("vipipe: SensorPlan before Characterize")
+		return nil, flowerr.StepOrderf("vipipe: SensorPlan before Characterize")
 	}
 	return razor.NewPlan(f.NL, resA, f.Cfg.SensorBudget), nil
 }
 
 // GenerateIslands runs the paper's placement-aware slicing for the
 // characterized scenarios.
-func (f *Flow) GenerateIslands(strategy vi.Strategy) (*vi.Partition, error) {
+func (f *Flow) GenerateIslands(ctx context.Context, strategy vi.Strategy) (*vi.Partition, error) {
 	if len(f.ScenarioPositions) == 0 {
-		return nil, fmt.Errorf("vipipe: GenerateIslands before Characterize")
+		return nil, flowerr.StepOrderf("vipipe: GenerateIslands before Characterize")
 	}
-	return vi.Generate(f.STA, &f.Cfg.Model, f.ScenarioPositions, vi.Options{
+	return vi.Generate(ctx, f.STA, &f.Cfg.Model, f.ScenarioPositions, vi.Options{
 		Strategy: strategy,
 		ClockPS:  f.ClockPS,
 		Derate:   f.Derate,
@@ -259,17 +296,37 @@ func (f *Flow) GenerateIslands(strategy vi.Strategy) (*vi.Partition, error) {
 // the timing engine. It returns the shifter count and the critical-
 // path degradation fraction (paper Section 4.6: 8% vertical, 15%
 // horizontal).
-func (f *Flow) InsertShifters(p *vi.Partition) (count int, degradation float64, err error) {
+//
+// The step mutates netlist, placement, derate vector and timing engine
+// together. A failure after the netlist was already spliced cannot be
+// rolled back; it is reported as an error matching
+// flowerr.ErrPartialStep, and the flow must be rebuilt from a fresh
+// New before further steps — re-running analysis on the half-updated
+// state would silently mix stale and fresh timing.
+func (f *Flow) InsertShifters(ctx context.Context, p *vi.Partition) (count int, degradation float64, err error) {
+	if f.STA == nil {
+		return 0, 0, flowerr.StepOrderf("vipipe: InsertShifters before Analyze")
+	}
+	if p == nil {
+		return 0, 0, flowerr.BadInputf("vipipe: InsertShifters with nil partition")
+	}
+	if err := ctxErr(ctx, "InsertShifters"); err != nil {
+		return 0, 0, err
+	}
 	before := f.STA.Run(f.ClockPS, f.Derate).CritPS
 	count, err = p.InsertShifters(f.PL)
 	if err != nil {
+		// Nothing was spliced: the partition pre-checks failed and
+		// the flow state is untouched.
 		return 0, 0, err
 	}
 	for len(f.Derate) < f.NL.NumCells() {
 		f.Derate = append(f.Derate, 1)
 	}
 	if err := f.STA.Refresh(); err != nil {
-		return count, 0, err
+		return count, 0, flowerr.PartialStepf(
+			"vipipe: %d level shifters spliced but timing refresh failed, flow state is inconsistent — rebuild from New: %w",
+			count, err)
 	}
 	after := f.STA.Run(f.ClockPS, f.Derate).CritPS
 	return count, after/before - 1, nil
@@ -279,9 +336,9 @@ func (f *Flow) InsertShifters(p *vi.Partition) (count int, degradation float64, 
 // netlist against behavioral memories and records switching activity.
 // Run it after any netlist mutation (level shifters, Razor flops) so
 // the activity covers the final design.
-func (f *Flow) SimulateWorkload() error {
+func (f *Flow) SimulateWorkload(ctx context.Context) error {
 	if f.Core == nil {
-		return fmt.Errorf("vipipe: SimulateWorkload before Synthesize")
+		return flowerr.StepOrderf("vipipe: SimulateWorkload before Synthesize")
 	}
 	fir, err := vexsim.NewFIR(f.Cfg.Core, f.Cfg.FIRSamples, f.Cfg.FIRTaps, f.Cfg.Seed)
 	if err != nil {
@@ -291,7 +348,9 @@ func (f *Flow) SimulateWorkload() error {
 	if err != nil {
 		return err
 	}
-	tb.Run(fir.Cycles)
+	if err := tb.RunContext(ctx, fir.Cycles); err != nil {
+		return err
+	}
 	if idx := fir.CheckResults(tb.DMem); idx >= 0 {
 		return fmt.Errorf("vipipe: FIR output wrong at %d — netlist broken", idx)
 	}
@@ -317,7 +376,7 @@ func (f *Flow) SystematicLgate(pos variation.Pos) []float64 {
 // gate length).
 func (f *Flow) Power(domains []cell.Domain, pos variation.Pos) (*power.Report, error) {
 	if f.Activity == nil {
-		return nil, fmt.Errorf("vipipe: Power before SimulateWorkload")
+		return nil, flowerr.StepOrderf("vipipe: Power before SimulateWorkload")
 	}
 	return power.Analyze(power.Inputs{
 		NL:       f.NL,
@@ -332,6 +391,9 @@ func (f *Flow) Power(domains []cell.Domain, pos variation.Pos) (*power.Report, e
 // ScenarioPower reports the power of the VI design with islands
 // 1..scenario raised, for a chip at pos (Fig. 5 / Fig. 6 data).
 func (f *Flow) ScenarioPower(p *vi.Partition, scenario int, pos variation.Pos) (*power.Report, error) {
+	if p == nil {
+		return nil, flowerr.BadInputf("vipipe: ScenarioPower with nil partition")
+	}
 	return f.Power(p.Domains(scenario), pos)
 }
 
@@ -349,13 +411,42 @@ func (f *Flow) ChipWidePower(pos variation.Pos) (*power.Report, error) {
 	return f.Power(domains, pos)
 }
 
+// Check runs the design-rule checks over whatever state the flow has
+// accumulated so far (netlist, placement, derate vector, and — when a
+// partition is passed — island/level-shifter invariants). It returns
+// nil when clean and an error matching flowerr.ErrDRC listing every
+// violation otherwise. part may be nil. Run it between steps to catch
+// corrupted state before it reaches a hot loop.
+func (f *Flow) Check(part *vi.Partition) error {
+	if f.NL == nil {
+		return flowerr.StepOrderf("vipipe: Check before Synthesize")
+	}
+	in := drc.Inputs{NL: f.NL, PL: f.PL, Derate: f.Derate}
+	if part != nil {
+		in.Region = part.Region
+		in.ShiftersInserted = len(part.Shifters) > 0
+	}
+	return drc.Check(in).Err()
+}
+
 // Run executes the standard sequence through Characterize.
-func (f *Flow) Run() error {
-	steps := []func() error{f.Synthesize, f.Place, f.Analyze, f.Characterize}
+func (f *Flow) Run(ctx context.Context) error {
+	steps := []func(context.Context) error{f.Synthesize, f.Place, f.Analyze, f.Characterize}
 	for _, step := range steps {
-		if err := step(); err != nil {
+		if err := step(ctx); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ctxErr reports a context already expired before a step started.
+func ctxErr(ctx context.Context, step string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return flowerr.Cancelledf("vipipe: %s: %w", step, err)
 	}
 	return nil
 }

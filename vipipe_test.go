@@ -1,37 +1,147 @@
 package vipipe
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
+	"time"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/vi"
 )
 
+// TestFlowStepOrderEnforced exercises every "X before Y" guard; each
+// must reject with an error matching flowerr.ErrStepOrder.
 func TestFlowStepOrderEnforced(t *testing.T) {
+	ctx := context.Background()
 	f := New(TestConfig())
-	if err := f.Place(); err == nil {
-		t.Error("Place before Synthesize accepted")
+	order := []struct {
+		name string
+		call func() error
+	}{
+		{"Place before Synthesize", func() error { return f.Place(ctx) }},
+		{"Analyze before Place", func() error { return f.Analyze(ctx) }},
+		{"Characterize before Analyze", func() error { return f.Characterize(ctx) }},
+		{"SensorPlan before Characterize", func() error { _, err := f.SensorPlan(); return err }},
+		{"GenerateIslands before Characterize", func() error { _, err := f.GenerateIslands(ctx, vi.Vertical); return err }},
+		{"InsertShifters before Analyze", func() error { _, _, err := f.InsertShifters(ctx, &vi.Partition{}); return err }},
+		{"SimulateWorkload before Synthesize", func() error { return f.SimulateWorkload(ctx) }},
+		{"Check before Synthesize", func() error { return f.Check(nil) }},
 	}
-	if err := f.Analyze(); err == nil {
-		t.Error("Analyze before Place accepted")
+	for _, step := range order {
+		err := step.call()
+		if err == nil {
+			t.Errorf("%s accepted", step.name)
+			continue
+		}
+		if !errors.Is(err, flowerr.ErrStepOrder) {
+			t.Errorf("%s: error %v does not match ErrStepOrder", step.name, err)
+		}
 	}
-	if err := f.Characterize(); err == nil {
-		t.Error("Characterize before Analyze accepted")
+}
+
+// TestPowerBeforeWorkloadRejected covers the one ordering guard that
+// needs a characterized flow first.
+func TestPowerBeforeWorkloadRejected(t *testing.T) {
+	f := New(TestConfig())
+	if err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := f.SensorPlan(); err == nil {
-		t.Error("SensorPlan before Characterize accepted")
+	pos, err := f.Position("A")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := f.GenerateIslands(vi.Vertical); err == nil {
-		t.Error("GenerateIslands before Characterize accepted")
+	_, err = f.Power(make([]cell.Domain, f.NL.NumCells()), pos)
+	if err == nil {
+		t.Fatal("Power before SimulateWorkload accepted")
 	}
-	if err := f.SimulateWorkload(); err == nil {
-		t.Error("SimulateWorkload before Synthesize accepted")
+	if !errors.Is(err, flowerr.ErrStepOrder) {
+		t.Errorf("error %v does not match ErrStepOrder", err)
+	}
+}
+
+func TestFlowPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := New(TestConfig())
+	err := f.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+	if !errors.Is(err, flowerr.ErrCancelled) {
+		t.Errorf("error %v does not match ErrCancelled", err)
+	}
+}
+
+// countingCtx is a context whose Err() flips to Canceled after a fixed
+// number of polls: a deterministic way to cancel mid-Characterize
+// without racing a timer against the Monte Carlo workers.
+type countingCtx struct {
+	mu    sync.Mutex
+	calls int
+	limit int
+	done  chan struct{}
+	err   error
+}
+
+func newCountingCtx(limit int) *countingCtx {
+	return &countingCtx{limit: limit, done: make(chan struct{})}
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}       { return c.done }
+func (c *countingCtx) Value(any) any               { return nil }
+func (c *countingCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.err == nil && c.calls >= c.limit {
+		c.err = context.Canceled
+		close(c.done)
+	}
+	return c.err
+}
+
+// TestCharacterizeCancelledMidRun cancels during the first position's
+// Monte Carlo run and checks both the error class and the
+// partial-progress contract: whatever samples completed are kept.
+func TestCharacterizeCancelledMidRun(t *testing.T) {
+	f := New(TestConfig())
+	ctx := context.Background()
+	for _, step := range []func(context.Context) error{f.Synthesize, f.Place, f.Analyze} {
+		if err := step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The limit is reached inside the first mc.Run: validation passes
+	// first, then the dispatch loop and every worker poll Err() at
+	// least once per sample.
+	cctx := newCountingCtx(40)
+	err := f.Characterize(cctx)
+	if err == nil {
+		t.Fatal("cancelled Characterize succeeded")
+	}
+	if !errors.Is(err, flowerr.ErrCancelled) {
+		t.Fatalf("error %v does not match ErrCancelled", err)
+	}
+	total := 0
+	for _, res := range f.MC {
+		if res.Samples > res.Requested {
+			t.Errorf("position result claims %d of %d samples", res.Samples, res.Requested)
+		}
+		total += res.Samples
+	}
+	if want := 4 * f.Cfg.MCSamples; total >= want {
+		t.Errorf("%d samples completed despite cancellation (full run is %d)", total, want)
 	}
 }
 
 func TestFlowEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	f := New(TestConfig())
-	if err := f.Run(); err != nil {
+	if err := f.Run(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if f.FmaxMHz <= 0 || f.ClockPS <= 0 {
@@ -48,12 +158,27 @@ func TestFlowEndToEnd(t *testing.T) {
 	if names[0] != "C" || names[1] != "B" || names[2] != "A" {
 		t.Errorf("scenario targets = %v, want [C B A]", names)
 	}
+	// Every completed position reports full sample counts.
+	for name, res := range f.MC {
+		if res.Samples != res.Requested {
+			t.Errorf("position %s: %d of %d samples", name, res.Samples, res.Requested)
+		}
+	}
+
+	// The characterized flow passes DRC.
+	if err := f.Check(nil); err != nil {
+		t.Fatalf("pre-island DRC: %v", err)
+	}
 
 	// Workload + baseline power before mutation.
-	if err := f.SimulateWorkload(); err != nil {
+	if err := f.SimulateWorkload(ctx); err != nil {
 		t.Fatal(err)
 	}
-	base, err := f.ChipWidePower(f.Position("A"))
+	posA, err := f.Position("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := f.ChipWidePower(posA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +187,11 @@ func TestFlowEndToEnd(t *testing.T) {
 	}
 
 	// Islands, shifters, scenario power.
-	part, err := f.GenerateIslands(vi.Vertical)
+	part, err := f.GenerateIslands(ctx, vi.Vertical)
 	if err != nil {
 		t.Fatal(err)
 	}
-	count, degr, err := f.InsertShifters(part)
+	count, degr, err := f.InsertShifters(ctx, part)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,23 +201,32 @@ func TestFlowEndToEnd(t *testing.T) {
 	if degr < 0 || degr > 0.6 {
 		t.Errorf("degradation %.2f implausible", degr)
 	}
-	if err := f.SimulateWorkload(); err != nil {
+	// The mutated flow still passes DRC, including the level-shifter
+	// coverage rule.
+	if err := f.Check(part); err != nil {
+		t.Fatalf("post-island DRC: %v", err)
+	}
+	if err := f.SimulateWorkload(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// One island raised must cost less than all three raised, which
 	// must cost less than the whole (shifter-bearing) design high.
-	p1, err := f.ScenarioPower(part, 1, f.Position("C"))
+	posC, err := f.Position("C")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err := f.ScenarioPower(part, 3, f.Position("A"))
+	p1, err := f.ScenarioPower(part, 1, posC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := f.ScenarioPower(part, 3, posA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p1.TotalMW() >= p3.TotalMW() {
 		t.Errorf("1-island power %.3f >= 3-island power %.3f", p1.TotalMW(), p3.TotalMW())
 	}
-	wide, err := f.ChipWidePower(f.Position("A"))
+	wide, err := f.ChipWidePower(posA)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,20 +246,43 @@ func TestFlowEndToEnd(t *testing.T) {
 
 func TestPositionLookup(t *testing.T) {
 	f := New(TestConfig())
-	if f.Position("B").Name != "B" || f.Position("B").XMM <= 0 {
+	pos, err := f.Position("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Name != "B" || pos.XMM <= 0 {
 		t.Error("position lookup broken")
 	}
-	if f.Position("Z").XMM != 0 {
-		t.Error("unknown position should be zero-valued")
+	if _, err := f.Position("Z"); err == nil {
+		t.Error("unknown position accepted")
+	} else if !errors.Is(err, flowerr.ErrBadInput) {
+		t.Errorf("error %v does not match ErrBadInput", err)
 	}
 }
 
-func TestPowerBeforeWorkloadRejected(t *testing.T) {
+// TestInsertShiftersRejectsBadPartition checks the pre-mutation guards:
+// a nil or double-inserted partition must fail without touching state.
+func TestInsertShiftersRejectsBadPartition(t *testing.T) {
+	ctx := context.Background()
 	f := New(TestConfig())
-	if err := f.Run(); err != nil {
+	if err := f.Run(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Power(make([]cell.Domain, f.NL.NumCells()), f.Position("A")); err == nil {
-		t.Error("Power before SimulateWorkload accepted")
+	if _, _, err := f.InsertShifters(ctx, nil); !errors.Is(err, flowerr.ErrBadInput) {
+		t.Errorf("nil partition: %v, want ErrBadInput", err)
+	}
+	part, err := f.GenerateIslands(ctx, vi.Vertical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.InsertShifters(ctx, part); err != nil {
+		t.Fatal(err)
+	}
+	cells := f.NL.NumCells()
+	if _, _, err := f.InsertShifters(ctx, part); !errors.Is(err, flowerr.ErrStepOrder) {
+		t.Errorf("double insertion: %v, want ErrStepOrder", err)
+	}
+	if f.NL.NumCells() != cells {
+		t.Error("rejected insertion still mutated the netlist")
 	}
 }
