@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fault fuzz ci clean
+.PHONY: all build vet test race fault fuzz service-it ci clean
 
 all: build
 
@@ -32,7 +32,15 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseSDF -fuzztime=10s ./internal/sdf
 	$(GO) test -run=^$$ -fuzz=FuzzParseDEF -fuzztime=10s ./internal/def
 
-ci: vet build race test fault
+# Service integration: the in-process HTTP tests (submit/poll/cancel/
+# drain, >=8 concurrent clients) plus the daemon end-to-end test, which
+# builds cmd/vipiped, boots it on a random port, drives a job over HTTP
+# and SIGTERMs it. Everything runs under the race detector; the daemon
+# exits inside the test, so nothing leaks.
+service-it:
+	$(GO) test -race -count=1 ./internal/service/... ./cmd/vipiped
+
+ci: vet build race test fault service-it
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,54 @@
+package vipipe_test
+
+import (
+	"context"
+	"testing"
+
+	"vipipe/internal/service"
+)
+
+// BenchmarkServiceScenarioSweep measures the service engine's A-D
+// scenario sweep cold (fresh cache each iteration: full synthesize +
+// place + analyze + 4x Monte Carlo) against cache-warm (one engine,
+// every artifact hits). The gap is the value of the content-addressed
+// cache; warm iterations are essentially the power evaluation alone.
+//
+// This lives in the external test package: internal/service imports
+// the root vipipe package, so an in-package benchmark would be an
+// import cycle.
+func BenchmarkServiceScenarioSweep(b *testing.B) {
+	req := service.Request{
+		Kind:     "sweep",
+		Strategy: "vertical",
+		Config: service.ConfigSpec{
+			Small: true, Seed: 1,
+			MCSamples: 60, VISamples: 24, FIRSamples: 8, FIRTaps: 4,
+		},
+	}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := service.NewEngine(service.NewCache(64<<20), nil)
+			if _, err := eng.Run(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		eng := service.NewEngine(service.NewCache(64<<20), nil)
+		if _, err := eng.Run(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := eng.Cache().Stats()
+		b.ReportMetric(st.HitRate(), "cache_hit_rate")
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
+	"vipipe/internal/service/wire"
 	"vipipe/internal/stats"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced test core instead of the full 32-bit 4-slot core")
 	samples := flag.Int("samples", 0, "Monte Carlo samples (0 = config default)")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit the characterization as JSON (wire schema, same as vipiped)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -48,6 +50,23 @@ func main() {
 	if err := f.Run(ctx); err != nil {
 		fatal(err)
 	}
+
+	if *jsonOut {
+		out := struct {
+			Cells     int             `json:"cells"`
+			ClockPS   float64         `json:"clock_ps"`
+			FmaxMHz   float64         `json:"fmax_mhz"`
+			Positions []wire.MCResult `json:"positions"`
+		}{Cells: f.NL.NumCells(), ClockPS: f.ClockPS, FmaxMHz: f.FmaxMHz}
+		for _, pos := range cfg.Model.DiagonalPositions() {
+			out.Positions = append(out.Positions, wire.FromMCResult(f.MC[pos.Name]))
+		}
+		if err := wire.Encode(os.Stdout, out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	fmt.Printf("core: %d cells, clock %.0fps (%.1f MHz)\n\n",
 		f.NL.NumCells(), f.ClockPS, f.FmaxMHz)
 

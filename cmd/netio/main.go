@@ -36,12 +36,15 @@ func main() {
 	vPath := flag.String("verilog", "", "write the netlist as structural Verilog to this path")
 	defPath := flag.String("def", "", "write the placement as DEF to this path")
 	inject := flag.String("inject", "A", "chip position (A-D) for the variability-injection round trip")
+	seed := flag.Int64("seed", 1, "random seed (placement and workload)")
 	flag.Parse()
 
 	cfg := vipipe.TestConfig()
 	if !*small {
 		cfg = vipipe.DefaultConfig()
 	}
+	cfg.Seed = *seed
+	cfg.Place.Seed = *seed
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -15,6 +15,7 @@ import (
 
 	"vipipe"
 	"vipipe/internal/flowerr"
+	"vipipe/internal/service/wire"
 	"vipipe/internal/vi"
 )
 
@@ -27,14 +28,24 @@ func fatal(err error) {
 	os.Exit(flowerr.ExitCode(err))
 }
 
+// jsonEntry is the -json record per strategy: the wire-encoded
+// partition (after shifter insertion, so counts and area are filled)
+// plus the post-insertion critical-path degradation.
+type jsonEntry struct {
+	Partition   wire.Partition `json:"partition"`
+	Degradation float64        `json:"degradation"`
+}
+
 func main() {
 	small := flag.Bool("small", false, "use the reduced test core")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit the partitions as JSON (wire schema, same as vipiped)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var entries []jsonEntry
 	for _, strat := range []vi.Strategy{vi.Vertical, vi.Horizontal} {
 		cfg := vipipe.DefaultConfig()
 		if *small {
@@ -51,23 +62,34 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%v slicing: %w", strat, err))
 		}
-		fmt.Printf("== %v slicing (start side: %v) — Fig. 4\n", strat, part.StartSide)
-		axis := "x"
-		if strat == vi.Horizontal {
-			axis = "y"
+		if !*jsonOut {
+			fmt.Printf("== %v slicing (start side: %v) — Fig. 4\n", strat, part.StartSide)
+			axis := "x"
+			if strat == vi.Horizontal {
+				axis = "y"
+			}
+			for _, isl := range part.Islands {
+				fmt.Printf("  island %d: %s in [%.0f, %.0f]um, %d cells\n",
+					isl.Index, axis, isl.FromUM, isl.ToUM, len(isl.Cells))
+			}
+			fmt.Println(indent(part.Render(f.PL, 56)))
 		}
-		for _, isl := range part.Islands {
-			fmt.Printf("  island %d: %s in [%.0f, %.0f]um, %d cells\n",
-				isl.Index, axis, isl.FromUM, isl.ToUM, len(isl.Cells))
-		}
-		fmt.Println(indent(part.Render(f.PL, 56)))
 		count, degr, err := f.InsertShifters(ctx, part)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			entries = append(entries, jsonEntry{Partition: wire.FromPartition(part), Degradation: degr})
+			continue
 		}
 		fmt.Printf("  level shifters: %d (area %.2f%% of logic) — Table 2\n",
 			count, 100*part.ShifterAreaFrac())
 		fmt.Printf("  post-insertion critical-path degradation: %.1f%% (paper: 8%% ver / 15%% hor)\n\n",
 			100*degr)
+	}
+	if *jsonOut {
+		if err := wire.Encode(os.Stdout, entries); err != nil {
+			fatal(err)
+		}
 	}
 }

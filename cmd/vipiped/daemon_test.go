@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonEndToEnd builds the real binary, boots it on a random
+// port, drives one job over HTTP, then SIGTERMs it and checks the
+// graceful drain: exit code 0 and the completed result was served.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "vipiped")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// First stdout line: "vipiped: listening on 127.0.0.1:PORT (...)".
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no banner line; stderr: %s", stderr.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) < 4 || fields[1] != "listening" {
+		t.Fatalf("unexpected banner %q", sc.Text())
+	}
+	base := "http://" + fields[3]
+	// Keep draining stdout so the daemon never blocks on a full pipe.
+	rest := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		rest <- strings.Join(lines, "\n")
+	}()
+
+	body := `{"kind":"characterize","position":"A","config":{"small":true,"seed":1,"mc_samples":40,"vi_samples":24,"fir_samples":8,"fir_taps":4}}`
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v; stderr: %s", err, stderr.String())
+	}
+	var snap struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	var result struct {
+		Position string `json:"position"`
+		Samples  int    `json:"samples"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", snap.ID)
+		}
+		sr, err := http.Get(base + "/jobs/" + snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(sr.Body).Decode(&snap)
+		sr.Body.Close()
+		if snap.State == "done" {
+			break
+		}
+		if snap.State == "failed" || snap.State == "cancelled" {
+			t.Fatalf("job ended %s", snap.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rr, err := http.Get(base + "/jobs/" + snap.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(rr.Body).Decode(&result)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK || result.Position != "A" || result.Samples != 40 {
+		t.Fatalf("result = %d %+v; want 200 for position A with 40 samples", rr.StatusCode, result)
+	}
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Jobs struct {
+			Completed int `json:"completed"`
+		} `json:"jobs"`
+	}
+	json.NewDecoder(mr.Body).Decode(&metrics)
+	mr.Body.Close()
+	if metrics.Jobs.Completed != 1 {
+		t.Fatalf("metrics completed = %d; want 1", metrics.Jobs.Completed)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	tail := <-rest
+	if !strings.Contains(tail, "drained, bye") {
+		t.Fatalf("shutdown output %q; want the drained banner", tail)
+	}
+}

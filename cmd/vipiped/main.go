@@ -1,0 +1,86 @@
+// Command vipiped serves the whole vipipe flow as a long-running
+// HTTP/JSON analysis service: submit characterization, island
+// generation, power and DRC jobs against a shared content-addressed
+// artifact cache, poll their status, fetch wire-encoded results, and
+// scrape /metrics. One synthesize+place+analyze baseline per
+// configuration hash is built on first use and reused by every
+// subsequent query, so a scenario sweep at positions A-D costs one
+// baseline plus four cached characterizations instead of four cold
+// flow runs.
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains the
+// in-flight jobs (bounded by -drain-timeout), and exits without
+// dropping completed results mid-write.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vipipe/internal/flowerr"
+	"vipipe/internal/service"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vipiped:", err)
+	os.Exit(flowerr.ExitCode(err))
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8639", "listen address (port 0 picks a free port, printed on stdout)")
+	workers := flag.Int("workers", 2, "worker-pool size (concurrent jobs)")
+	queueCap := flag.Int("queue", 64, "job queue capacity")
+	cacheMB := flag.Int("cache-mb", 256, "artifact cache bound in MiB")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	metrics := service.NewMetrics()
+	cache := service.NewCache(int64(*cacheMB) << 20)
+	eng := service.NewEngine(cache, metrics)
+	mgr := service.NewManager(eng, metrics, *workers, *queueCap)
+	srv := &http.Server{Handler: service.NewServer(mgr, metrics)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(flowerr.BadInputf("vipiped: listen %s: %v", *addr, err))
+	}
+	// The bound address goes to stdout first thing so scripts (and the
+	// service-it harness) can drive a port-0 instance.
+	fmt.Printf("vipiped: listening on %s (workers=%d queue=%d cache=%dMiB)\n",
+		ln.Addr(), *workers, *queueCap, *cacheMB)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately via default handling
+
+	fmt.Println("vipiped: signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first so no new submissions race the drain,
+	// then let the worker pool finish queued and running jobs.
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "vipiped: http shutdown:", err)
+	}
+	if err := mgr.Drain(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "vipiped: drain:", err)
+		os.Exit(flowerr.ExitCode(err))
+	}
+	fmt.Println("vipiped: drained, bye")
+}

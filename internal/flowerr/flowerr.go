@@ -25,6 +25,7 @@ package flowerr
 import (
 	"errors"
 	"fmt"
+	"net/http"
 )
 
 // Sentinel failure classes. Match with errors.Is.
@@ -133,5 +134,64 @@ func ExitCode(err error) int {
 		return ExitDRC
 	default:
 		return ExitFailure
+	}
+}
+
+// StatusClientClosedRequest is the nginx-convention status for a
+// request abandoned by the client; the service uses it for cancelled
+// jobs since no standard code distinguishes "you asked us to stop"
+// from a server fault.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an error to the stable HTTP status code of its
+// failure class, for service frontends. nil maps to 200 OK; an
+// unclassified error to 500.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, ErrStepOrder):
+		return http.StatusConflict // 409
+	case errors.Is(err, ErrCancelled):
+		return StatusClientClosedRequest // 499
+	case errors.Is(err, ErrNoScenario):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, ErrDRC):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, ErrWorkerPanic):
+		return http.StatusInternalServerError // 500
+	case errors.Is(err, ErrPartialStep):
+		return http.StatusInternalServerError // 500
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Class returns the short stable name of an error's failure class
+// ("bad-input", "cancelled", ...), "" for nil and "unclassified" for
+// an error outside the taxonomy. Service responses carry it so clients
+// can branch without parsing messages.
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadInput):
+		return "bad-input"
+	case errors.Is(err, ErrStepOrder):
+		return "step-order"
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrWorkerPanic):
+		return "worker-panic"
+	case errors.Is(err, ErrNoScenario):
+		return "no-scenario"
+	case errors.Is(err, ErrPartialStep):
+		return "partial-step"
+	case errors.Is(err, ErrDRC):
+		return "drc"
+	default:
+		return "unclassified"
 	}
 }

@@ -69,6 +69,110 @@ func TestPanicError(t *testing.T) {
 	}
 }
 
+// sentinels is the full taxonomy; the mapping tests below fail when a
+// newly added sentinel is missing from either table.
+var sentinels = []error{
+	ErrBadInput, ErrStepOrder, ErrCancelled, ErrWorkerPanic,
+	ErrNoScenario, ErrPartialStep, ErrDRC,
+}
+
+func TestExitCodeMapsEverySentinel(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain"), ExitFailure},
+		{fmt.Errorf("deep: %w", errors.New("plain")), ExitFailure},
+		{ErrBadInput, ExitBadInput},
+		{ErrStepOrder, ExitStepOrder},
+		{ErrCancelled, ExitCancelled},
+		{ErrWorkerPanic, ExitWorkerPanic},
+		{ErrNoScenario, ExitNoScenario},
+		{ErrPartialStep, ExitPartialStep},
+		{ErrDRC, ExitDRC},
+	}
+	covered := make(map[error]bool)
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.code {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.code)
+		}
+		covered[c.err] = true
+	}
+	for _, s := range sentinels {
+		if !covered[s] {
+			t.Errorf("sentinel %v has no exit-code table entry", s)
+		}
+		if ExitCode(s) == ExitFailure || ExitCode(s) == ExitOK {
+			t.Errorf("sentinel %v falls through to the generic exit code", s)
+		}
+	}
+}
+
+func TestHTTPStatusMapsEverySentinel(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+	}{
+		{nil, 200},
+		{errors.New("plain"), 500},
+		{fmt.Errorf("deep: %w", errors.New("plain")), 500},
+		{ErrBadInput, 400},
+		{ErrStepOrder, 409},
+		{ErrCancelled, StatusClientClosedRequest},
+		{ErrWorkerPanic, 500},
+		{ErrNoScenario, 422},
+		{ErrPartialStep, 500},
+		{ErrDRC, 422},
+		// Constructors and wrapping preserve the class mapping.
+		{BadInputf("x"), 400},
+		{fmt.Errorf("outer: %w", Cancelledf("x")), StatusClientClosedRequest},
+		{fmt.Errorf("mc: %w", &PanicError{Sample: 1}), 500},
+	}
+	covered := make(map[error]bool)
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.status {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.status)
+		}
+		covered[c.err] = true
+	}
+	for _, s := range sentinels {
+		if !covered[s] {
+			t.Errorf("sentinel %v has no HTTP-status table entry", s)
+		}
+		if got := HTTPStatus(s); got < 400 || got > 599 {
+			t.Errorf("HTTPStatus(%v) = %d, not an error status", s, got)
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	want := map[error]string{
+		ErrBadInput:    "bad-input",
+		ErrStepOrder:   "step-order",
+		ErrCancelled:   "cancelled",
+		ErrWorkerPanic: "worker-panic",
+		ErrNoScenario:  "no-scenario",
+		ErrPartialStep: "partial-step",
+		ErrDRC:         "drc",
+	}
+	for _, s := range sentinels {
+		name, ok := want[s]
+		if !ok {
+			t.Fatalf("sentinel %v missing from class-name table", s)
+		}
+		if got := Class(fmt.Errorf("wrapped: %w", s)); got != name {
+			t.Errorf("Class(%v) = %q, want %q", s, got, name)
+		}
+	}
+	if got := Class(nil); got != "" {
+		t.Errorf("Class(nil) = %q, want empty", got)
+	}
+	if got := Class(errors.New("plain")); got != "unclassified" {
+		t.Errorf("Class(plain) = %q", got)
+	}
+}
+
 func TestExitCode(t *testing.T) {
 	cases := []struct {
 		err  error

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vipipe/internal/flowerr"
+)
+
+func constEntry(v any, size int64) func() (any, int64, error) {
+	return func() (any, int64, error) { return v, size, nil }
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache(1 << 20)
+	ctx := context.Background()
+
+	v, err := c.Do(ctx, "k", constEntry("first", 10))
+	if err != nil || v != "first" {
+		t.Fatalf("Do miss = %v, %v", v, err)
+	}
+	v, err = c.Do(ctx, "k", constEntry("second", 10))
+	if err != nil || v != "first" {
+		t.Fatalf("Do hit = %v, %v; want cached %q", v, err, "first")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.SizeBytes != 10 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 entry, 10 bytes", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v; want 0.5", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100)
+	ctx := context.Background()
+
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := c.Do(ctx, k, constEntry(k, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a is least recently used: inserting c pushed size to 120 > 100.
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived eviction")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b evicted; want only a gone")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c evicted; want only a gone")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.SizeBytes != 80 {
+		t.Fatalf("stats = %+v; want 1 eviction, 2 entries, 80 bytes", st)
+	}
+
+	// The probes above touched b then c, so b is now LRU: inserting d
+	// must evict b and keep the recently-used c.
+	if _, err := c.Do(ctx, "d", constEntry("d", 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived; want LRU b evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c evicted; want recently-used c kept")
+	}
+}
+
+func TestCacheNeverEvictsJustInserted(t *testing.T) {
+	c := NewCache(10)
+	if _, err := c.Do(context.Background(), "huge", constEntry("v", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("huge"); !ok {
+		t.Fatal("oversized entry evicted itself; want it retained")
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v; want the single oversized entry kept", st)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 8
+	results := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), "k", func() (any, int64, error) {
+				computes.Add(1)
+				<-release
+				return "shared", 1, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the goroutines pile up on the inflight call before releasing.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for %d concurrent callers; want 1", n, callers)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("caller %d got %v; want shared value", i, v)
+		}
+	}
+}
+
+func TestCacheFailedComputeNotCached(t *testing.T) {
+	c := NewCache(1 << 20)
+	ctx := context.Background()
+	boom := errors.New("boom")
+
+	if _, err := c.Do(ctx, "k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("Do = %v; want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed compute was cached")
+	}
+	// The next caller retries and can succeed.
+	v, err := c.Do(ctx, "k", constEntry("ok", 1))
+	if err != nil || v != "ok" {
+		t.Fatalf("retry Do = %v, %v; want ok", v, err)
+	}
+}
+
+func TestCacheWaiterRetriesAfterComputerFails(t *testing.T) {
+	c := NewCache(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fail := errors.New("computer cancelled")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Do(context.Background(), "k", func() (any, int64, error) {
+			close(started)
+			<-release
+			return nil, 0, fail
+		})
+		if !errors.Is(err, fail) {
+			t.Errorf("computer got %v; want its own failure", err)
+		}
+	}()
+
+	<-started
+	waiterDone := make(chan error, 1)
+	var waiterVal atomic.Value
+	go func() {
+		v, err := c.Do(context.Background(), "k", constEntry("recovered", 1))
+		if v != nil {
+			waiterVal.Store(v)
+		}
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // waiter parks on the inflight call
+	close(release)
+
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter = %v; want retry success", err)
+	}
+	if v := waiterVal.Load(); v != "recovered" {
+		t.Fatalf("waiter value = %v; want recomputed value", v)
+	}
+	wg.Wait()
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := NewCache(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+
+	go c.Do(context.Background(), "k", func() (any, int64, error) {
+		close(started)
+		<-release
+		return "late", 1, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Do(ctx, "k", constEntry("never", 1))
+	if !errors.Is(err, flowerr.ErrCancelled) {
+		t.Fatalf("cancelled waiter = %v; want ErrCancelled", err)
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := NewCache(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%8)
+			v, err := c.Do(context.Background(), key, constEntry(key, 16))
+			if err != nil || v != key {
+				t.Errorf("key %s = %v, %v", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 8 {
+		t.Fatalf("entries = %d; want 8 distinct keys", st.Entries)
+	}
+}

@@ -1,0 +1,375 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"vipipe"
+	"vipipe/internal/flowerr"
+	"vipipe/internal/mc"
+	"vipipe/internal/service/wire"
+	"vipipe/internal/variation"
+	"vipipe/internal/vi"
+)
+
+// Request is one analysis query against the service. Kind selects the
+// analysis; the other fields parameterize it. Every request embeds the
+// full flow configuration — the engine content-addresses the expensive
+// intermediate artifacts by its hash, so requests that share a config
+// share one baseline no matter how they interleave.
+type Request struct {
+	// Kind: "characterize", "islands", "scenario_power",
+	// "chipwide_power", "sweep" or "drc".
+	Kind string `json:"kind"`
+	// Position names a chip position A-D (characterize,
+	// scenario_power, chipwide_power).
+	Position string `json:"position,omitempty"`
+	// Strategy is "vertical", "horizontal" or "corner" (islands,
+	// scenario_power, sweep).
+	Strategy string `json:"strategy,omitempty"`
+	// Scenario is the number of islands to raise, 0..3
+	// (scenario_power).
+	Scenario int `json:"scenario,omitempty"`
+
+	Config ConfigSpec `json:"config"`
+}
+
+// ConfigSpec is the wire form of a flow configuration: a base profile
+// plus overrides. Zero values mean "profile default", so an empty spec
+// is the paper's full-size setup.
+type ConfigSpec struct {
+	// Small selects the reduced test core profile.
+	Small bool  `json:"small,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+
+	MCSamples  int `json:"mc_samples,omitempty"`
+	VISamples  int `json:"vi_samples,omitempty"`
+	FIRSamples int `json:"fir_samples,omitempty"`
+	FIRTaps    int `json:"fir_taps,omitempty"`
+}
+
+// ToConfig resolves the spec against its base profile.
+func (s ConfigSpec) ToConfig() vipipe.Config {
+	cfg := vipipe.DefaultConfig()
+	if s.Small {
+		cfg = vipipe.TestConfig()
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.MCSamples > 0 {
+		cfg.MCSamples = s.MCSamples
+	}
+	if s.VISamples > 0 {
+		cfg.VISamples = s.VISamples
+	}
+	if s.FIRSamples > 0 {
+		cfg.FIRSamples = s.FIRSamples
+	}
+	if s.FIRTaps > 0 {
+		cfg.FIRTaps = s.FIRTaps
+	}
+	return cfg
+}
+
+// Engine answers Requests against a content-addressed artifact cache.
+// It is safe for concurrent use: baselines are immutable once built
+// (the engine never runs the netlist-mutating InsertShifters step) and
+// every flow engine it calls is read-only over them.
+type Engine struct {
+	cache *Cache
+	m     *Metrics
+}
+
+// NewEngine returns an engine over the given cache and metrics
+// registry (metrics may be nil).
+func NewEngine(cache *Cache, m *Metrics) *Engine {
+	return &Engine{cache: cache, m: m}
+}
+
+// Cache exposes the engine's cache (for stats).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Validate checks a request without running it, so frontends can
+// reject malformed submissions synchronously with ErrBadInput.
+func (e *Engine) Validate(req Request) error {
+	switch req.Kind {
+	case "characterize", "chipwide_power":
+		_, err := parsePos(req.Config.ToConfig(), req.Position)
+		return err
+	case "islands":
+		_, err := parseStrategy(req.Strategy)
+		return err
+	case "sweep":
+		_, err := parseStrategy(req.Strategy)
+		return err
+	case "scenario_power":
+		if _, err := parseStrategy(req.Strategy); err != nil {
+			return err
+		}
+		if req.Scenario < 0 || req.Scenario > 3 {
+			return flowerr.BadInputf("service: scenario %d out of range 0..3", req.Scenario)
+		}
+		_, err := parsePos(req.Config.ToConfig(), req.Position)
+		return err
+	case "drc":
+		return nil
+	default:
+		return flowerr.BadInputf("service: unknown request kind %q", req.Kind)
+	}
+}
+
+// Run executes one request and returns its wire-typed result:
+// wire.MCResult, wire.Partition, wire.PowerReport, wire.Sweep or
+// wire.DRCReport depending on Kind.
+func (e *Engine) Run(ctx context.Context, req Request) (any, error) {
+	if err := e.Validate(req); err != nil {
+		return nil, err
+	}
+	cfg := req.Config.ToConfig()
+	hash := cfg.Hash()
+	switch req.Kind {
+	case "characterize":
+		pos, _ := parsePos(cfg, req.Position)
+		res, err := e.characterize(ctx, cfg, hash, pos)
+		if err != nil {
+			return nil, err
+		}
+		return wire.FromMCResult(res), nil
+	case "islands":
+		strat, _ := parseStrategy(req.Strategy)
+		part, err := e.islands(ctx, cfg, hash, strat)
+		if err != nil {
+			return nil, err
+		}
+		return wire.FromPartition(part), nil
+	case "chipwide_power":
+		pos, _ := parsePos(cfg, req.Position)
+		f, err := e.baseline(ctx, cfg, hash)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		rep, err := f.ChipWidePower(pos)
+		if err != nil {
+			return nil, err
+		}
+		e.m.ObserveStep("power", time.Since(t0))
+		return wire.FromPowerReport(rep), nil
+	case "scenario_power":
+		strat, _ := parseStrategy(req.Strategy)
+		pos, _ := parsePos(cfg, req.Position)
+		f, err := e.baseline(ctx, cfg, hash)
+		if err != nil {
+			return nil, err
+		}
+		part, err := e.islands(ctx, cfg, hash, strat)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		rep, err := f.ScenarioPower(part, req.Scenario, pos)
+		if err != nil {
+			return nil, err
+		}
+		e.m.ObserveStep("power", time.Since(t0))
+		return wire.FromPowerReport(rep), nil
+	case "sweep":
+		strat, _ := parseStrategy(req.Strategy)
+		return e.sweep(ctx, cfg, hash, strat)
+	case "drc":
+		f, err := e.baseline(ctx, cfg, hash)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		rep, err := f.CheckReport(nil)
+		if err != nil {
+			return nil, err
+		}
+		e.m.ObserveStep("drc", time.Since(t0))
+		return wire.FromDRCReport(rep), nil
+	default:
+		return nil, flowerr.BadInputf("service: unknown request kind %q", req.Kind)
+	}
+}
+
+// sweep runs the Fig. 5 query: for each diagonal position, classify
+// the scenario from the (cached) characterization and compare the VI
+// design with that many islands raised against the chip-wide high-Vdd
+// baseline.
+func (e *Engine) sweep(ctx context.Context, cfg vipipe.Config, hash string, strat vi.Strategy) (wire.Sweep, error) {
+	out := wire.Sweep{Strategy: strat.String()}
+	f, err := e.baseline(ctx, cfg, hash)
+	if err != nil {
+		return out, err
+	}
+	part, err := e.islands(ctx, cfg, hash, strat)
+	if err != nil {
+		return out, err
+	}
+	for _, pos := range cfg.Model.DiagonalPositions() {
+		res, err := e.characterize(ctx, cfg, hash, pos)
+		if err != nil {
+			return out, err
+		}
+		sc, _ := res.Classify(0)
+		k := int(sc)
+		if k > part.NumIslands() {
+			k = part.NumIslands()
+		}
+		t0 := time.Now()
+		viRep, err := f.ScenarioPower(part, k, pos)
+		if err != nil {
+			return out, err
+		}
+		baseRep, err := f.ChipWidePower(pos)
+		if err != nil {
+			return out, err
+		}
+		e.m.ObserveStep("power", time.Since(t0))
+		entry := wire.SweepEntry{
+			Position: pos.Name,
+			Scenario: k,
+			VI:       wire.FromPowerReport(viRep),
+			ChipWide: wire.FromPowerReport(baseRep),
+		}
+		if t := baseRep.TotalMW(); t > 0 {
+			entry.TotalRatio = viRep.TotalMW() / t
+		}
+		if l := baseRep.LeakMW; l > 0 {
+			entry.LeakRatio = viRep.LeakMW / l
+		}
+		out.Entries = append(out.Entries, entry)
+	}
+	return out, nil
+}
+
+// baseline returns the immutable shared flow for a config: synthesized
+// netlist, placement, STA with recovered derates, and FIR switching
+// activity. Cached under "<hash>/baseline".
+func (e *Engine) baseline(ctx context.Context, cfg vipipe.Config, hash string) (*vipipe.Flow, error) {
+	v, err := e.cache.Do(ctx, hash+"/baseline", func() (any, int64, error) {
+		t0 := time.Now()
+		f := vipipe.New(cfg)
+		steps := []func(context.Context) error{
+			f.Synthesize, f.Place, f.Analyze, f.SimulateWorkload,
+		}
+		for _, step := range steps {
+			if err := step(ctx); err != nil {
+				return nil, 0, err
+			}
+		}
+		e.m.ObserveStep("baseline", time.Since(t0))
+		// Rough retained size: netlist graph + placement + timing
+		// engine scale with cells and nets.
+		size := int64(f.NL.NumCells())*400 + int64(f.NL.NumNets())*200
+		return f, size, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*vipipe.Flow), nil
+}
+
+// characterize returns the Monte Carlo SSTA at one position, cached
+// under "<hash>/mc/<pos>". The underlying sta.Analyzer is shared and
+// safe for concurrent re-timing (mc.Run itself fans out workers over
+// it).
+func (e *Engine) characterize(ctx context.Context, cfg vipipe.Config, hash string, pos variation.Pos) (*mc.Result, error) {
+	f, err := e.baseline(ctx, cfg, hash)
+	if err != nil {
+		return nil, err
+	}
+	v, err := e.cache.Do(ctx, hash+"/mc/"+pos.Name, func() (any, int64, error) {
+		t0 := time.Now()
+		res, err := mc.Run(ctx, f.STA, &cfg.Model, pos, mc.Options{
+			Samples:        cfg.MCSamples,
+			Seed:           cfg.Seed,
+			ClockPS:        f.ClockPS,
+			Derate:         f.Derate,
+			PanicTolerance: cfg.PanicTolerance,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		e.m.ObserveStep("mc", time.Since(t0))
+		return res, int64(res.Samples)*int64(len(res.PerStage)+1)*16 + 4096, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*mc.Result), nil
+}
+
+// islands returns the voltage-island partition for a strategy, cached
+// under "<hash>/vi/<strategy>". The partition is generated but NOT
+// inserted: InsertShifters mutates the shared netlist and is the one
+// flow step the service never runs on a cached baseline.
+func (e *Engine) islands(ctx context.Context, cfg vipipe.Config, hash string, strat vi.Strategy) (*vi.Partition, error) {
+	f, err := e.baseline(ctx, cfg, hash)
+	if err != nil {
+		return nil, err
+	}
+	ladder, err := e.scenarios(ctx, cfg, hash)
+	if err != nil {
+		return nil, err
+	}
+	v, err := e.cache.Do(ctx, hash+"/vi/"+strat.String(), func() (any, int64, error) {
+		t0 := time.Now()
+		part, err := vi.Generate(ctx, f.STA, &cfg.Model, ladder, vi.Options{
+			Strategy: strat,
+			ClockPS:  f.ClockPS,
+			Derate:   f.Derate,
+			Samples:  cfg.VISamples,
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		e.m.ObserveStep("islands", time.Since(t0))
+		return part, int64(len(part.Region))*8 + 4096, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*vi.Partition), nil
+}
+
+// scenarios derives the scenario ladder from the cached per-position
+// characterizations.
+func (e *Engine) scenarios(ctx context.Context, cfg vipipe.Config, hash string) ([]variation.Pos, error) {
+	order := cfg.Model.DiagonalPositions()
+	results := make(map[string]*mc.Result, len(order))
+	for _, pos := range order {
+		res, err := e.characterize(ctx, cfg, hash, pos)
+		if err != nil {
+			return nil, err
+		}
+		results[pos.Name] = res
+	}
+	return vipipe.ScenarioLadder(order, results)
+}
+
+func parsePos(cfg vipipe.Config, name string) (variation.Pos, error) {
+	for _, p := range cfg.Model.DiagonalPositions() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return variation.Pos{}, flowerr.BadInputf("service: unknown chip position %q (model defines A-D)", name)
+}
+
+func parseStrategy(s string) (vi.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "vertical":
+		return vi.Vertical, nil
+	case "horizontal":
+		return vi.Horizontal, nil
+	case "corner":
+		return vi.Corner, nil
+	default:
+		return 0, flowerr.BadInputf("service: unknown slicing strategy %q (vertical, horizontal, corner)", s)
+	}
+}

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vipipe/internal/flowerr"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether no further transition can happen.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one submitted request moving through the worker pool.
+type Job struct {
+	ID  string
+	Req Request
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	result   any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	done chan struct{}
+}
+
+// Snapshot is the frontend view of a job.
+type JobSnapshot struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    JobState  `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Class    string    `json:"error_class,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// Snapshot returns a consistent copy of the job's visible state.
+func (j *Job) Snapshot() JobSnapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobSnapshot{
+		ID:       j.ID,
+		Kind:     j.Req.Kind,
+		State:    j.state,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+		s.Class = flowerr.Class(j.err)
+	}
+	return s
+}
+
+// Result returns the job's outcome once terminal: (result, nil) for a
+// done job, (nil, err) for a failed or cancelled one, and an error
+// matching flowerr.ErrStepOrder while the job is still queued or
+// running.
+func (j *Job) Result() (any, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case !j.state.Terminal():
+		return nil, flowerr.StepOrderf("service: job %s is %s, result not ready", j.ID, j.state)
+	case j.err != nil:
+		return nil, j.err
+	default:
+		return j.result, nil
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Manager owns the bounded worker pool and the job table. Submissions
+// queue; workers run them through the engine with a per-job
+// context.Context wired into the flow's cancellation plumbing; results
+// stay in the table (completed results survive a drain) until the
+// process exits.
+type Manager struct {
+	eng     *Engine
+	m       *Metrics
+	workers int
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	draining bool
+	queue    chan *Job
+
+	wg sync.WaitGroup
+}
+
+// NewManager sizes the pool. workers <= 0 defaults to 2; queueCap <= 0
+// defaults to 64.
+func NewManager(eng *Engine, m *Metrics, workers, queueCap int) *Manager {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	mgr := &Manager{
+		eng:     eng,
+		m:       m,
+		workers: workers,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, queueCap),
+	}
+	for i := 0; i < workers; i++ {
+		mgr.wg.Add(1)
+		go mgr.worker()
+	}
+	return mgr
+}
+
+// Workers returns the pool size.
+func (m *Manager) Workers() int { return m.workers }
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Submission failure classes, mapped by flowerr.HTTPStatus through
+// their sentinel (both are server-availability conditions, not
+// taxonomy failures, so the frontend maps them separately).
+var (
+	// ErrDraining rejects submissions after drain began.
+	ErrDraining = fmt.Errorf("service: draining, not accepting jobs")
+	// ErrQueueFull rejects submissions when the queue is at capacity.
+	ErrQueueFull = fmt.Errorf("service: job queue full")
+)
+
+// Submit validates and enqueues a request.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if err := m.eng.Validate(req); err != nil {
+		m.m.JobsRejected.Add(1)
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.m.JobsRejected.Add(1)
+		return nil, ErrDraining
+	}
+	m.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%06d", m.nextID),
+		Req:     req,
+		state:   JobQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.nextID-- // never existed
+		m.m.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	m.m.JobsSubmitted.Add(1)
+	return job, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job in submission order.
+func (m *Manager) List() []JobSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobSnapshot, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].Snapshot())
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job terminates immediately
+// with an ErrCancelled-classified error; a running job has its context
+// cancelled and terminates when the flow step observes it; a terminal
+// job is left untouched. The returned snapshot reflects the state
+// after the request.
+func (m *Manager) Cancel(id string) (JobSnapshot, bool) {
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return JobSnapshot{}, false
+	}
+	job.mu.Lock()
+	switch job.state {
+	case JobQueued:
+		job.state = JobCancelled
+		job.err = flowerr.Cancelledf("service: job %s cancelled while queued", job.ID)
+		job.finished = time.Now()
+		close(job.done)
+		m.m.JobsCancelled.Add(1)
+	case JobRunning:
+		job.cancel() // worker finishes the bookkeeping
+	}
+	job.mu.Unlock()
+	return job.Snapshot(), true
+}
+
+// worker pulls jobs until the queue closes on drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		job.mu.Lock()
+		if job.state != JobQueued { // cancelled while queued
+			job.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		job.state = JobRunning
+		job.started = time.Now()
+		job.cancel = cancel
+		job.mu.Unlock()
+
+		m.m.WorkersBusy.Add(1)
+		res, err := m.eng.Run(ctx, job.Req)
+		m.m.WorkersBusy.Add(-1)
+		cancel()
+
+		job.mu.Lock()
+		job.finished = time.Now()
+		switch {
+		case err == nil:
+			job.state = JobDone
+			job.result = res
+			m.m.JobsCompleted.Add(1)
+		case flowerr.Class(err) == "cancelled":
+			job.state = JobCancelled
+			job.err = err
+			m.m.JobsCancelled.Add(1)
+		default:
+			job.state = JobFailed
+			job.err = err
+			m.m.JobsFailed.Add(1)
+		}
+		m.m.ObserveStep("job."+job.Req.Kind, job.finished.Sub(job.started))
+		close(job.done)
+		job.mu.Unlock()
+	}
+}
+
+// Drain stops accepting submissions, lets the workers finish every
+// queued and running job, and returns when the pool is idle. Completed
+// results remain fetchable afterwards. If ctx expires first, the
+// remaining running jobs are cancelled, the pool is awaited, and the
+// ctx error is returned.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, job := range m.jobs {
+			job.mu.Lock()
+			if job.state == JobRunning {
+				job.cancel()
+			}
+			job.mu.Unlock()
+		}
+		m.mu.Unlock()
+		<-idle
+		return flowerr.Cancelledf("service: drain deadline expired, in-flight jobs cancelled: %w", ctx.Err())
+	}
+}

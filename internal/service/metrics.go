@@ -1,0 +1,223 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's stdlib-only metrics registry, published as
+// JSON at /metrics (expvar-style: a flat snapshot, no scrape
+// protocol). Counters are monotonic; gauges are instantaneous;
+// latency histograms use fixed exponential millisecond buckets.
+//
+// Metric names (stable):
+//
+//	jobs.submitted / completed / failed / cancelled / rejected
+//	jobs.queue_depth / workers_busy / workers
+//	cache.hits / misses / evictions / entries / size_bytes / cap_bytes / hit_rate
+//	latency_ms.<step>.{count,mean,p50,p90,p99,max,buckets}
+//
+// Steps are "baseline", "mc", "islands", "power", "drc" for the
+// engine stages and "job.<kind>" for whole-job latencies.
+type Metrics struct {
+	start time.Time
+
+	JobsSubmitted atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsRejected  atomic.Int64
+	WorkersBusy   atomic.Int64
+
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), hists: make(map[string]*Histogram)}
+}
+
+// ObserveStep records one latency sample for a named step.
+func (m *Metrics) ObserveStep(step string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[step]
+	if h == nil {
+		h = newHistogram()
+		m.hists[step] = h
+	}
+	m.mu.Unlock()
+	h.Observe(d)
+}
+
+// histBoundsMS are the upper bucket bounds in milliseconds; the last
+// bucket is unbounded.
+var histBoundsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// Histogram is a fixed-bucket latency histogram, safe for concurrent
+// observation.
+type Histogram struct {
+	buckets []atomic.Int64 // len(histBoundsMS)+1, last = overflow
+	count   atomic.Int64
+	sumUS   atomic.Int64 // sum in microseconds
+	maxUS   atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(histBoundsMS)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(histBoundsMS, ms)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	us := d.Microseconds()
+	h.sumUS.Add(us)
+	for {
+		old := h.maxUS.Load()
+		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is the JSON view of a histogram.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	MeanMS  float64          `json:"mean_ms"`
+	P50MS   float64          `json:"p50_ms"`
+	P90MS   float64          `json:"p90_ms"`
+	P99MS   float64          `json:"p99_ms"`
+	MaxMS   float64          `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// Snapshot renders the histogram. Percentiles are bucket upper-bound
+// estimates (the resolution of the fixed buckets).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts := make([]int64, len(h.buckets))
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{
+		Count:   total,
+		MaxMS:   float64(h.maxUS.Load()) / 1000,
+		Buckets: make(map[string]int64, len(counts)),
+	}
+	if total > 0 {
+		s.MeanMS = float64(h.sumUS.Load()) / 1000 / float64(total)
+	}
+	pct := func(q float64) float64 {
+		want := int64(q * float64(total))
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum > want {
+				if i < len(histBoundsMS) {
+					return histBoundsMS[i]
+				}
+				return s.MaxMS
+			}
+		}
+		return s.MaxMS
+	}
+	if total > 0 {
+		s.P50MS = pct(0.50)
+		s.P90MS = pct(0.90)
+		s.P99MS = pct(0.99)
+	}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(histBoundsMS) {
+			s.Buckets[formatBound(histBoundsMS[i])] = c
+		} else {
+			s.Buckets["le_inf"] = c
+		}
+	}
+	return s
+}
+
+func formatBound(ms float64) string {
+	// Bounds are integral milliseconds by construction.
+	n := int64(ms)
+	const digits = "0123456789"
+	if n == 0 {
+		return "le_0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return "le_" + string(buf[i:])
+}
+
+// Snapshot is the full /metrics payload.
+type Snapshot struct {
+	UptimeS float64                      `json:"uptime_s"`
+	Jobs    JobCounters                  `json:"jobs"`
+	Cache   CacheStatsView               `json:"cache"`
+	Latency map[string]HistogramSnapshot `json:"latency_ms"`
+}
+
+// JobCounters is the job-manager section of /metrics.
+type JobCounters struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Cancelled   int64 `json:"cancelled"`
+	Rejected    int64 `json:"rejected"`
+	QueueDepth  int   `json:"queue_depth"`
+	WorkersBusy int64 `json:"workers_busy"`
+	Workers     int   `json:"workers"`
+}
+
+// CacheStatsView adds the derived hit rate to the raw cache stats.
+type CacheStatsView struct {
+	CacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Snapshot assembles the /metrics payload from the registry plus the
+// cache and manager the server wires in (either may be nil).
+func (m *Metrics) Snapshot(cache *Cache, mgr *Manager) Snapshot {
+	s := Snapshot{
+		UptimeS: time.Since(m.start).Seconds(),
+		Jobs: JobCounters{
+			Submitted:   m.JobsSubmitted.Load(),
+			Completed:   m.JobsCompleted.Load(),
+			Failed:      m.JobsFailed.Load(),
+			Cancelled:   m.JobsCancelled.Load(),
+			Rejected:    m.JobsRejected.Load(),
+			WorkersBusy: m.WorkersBusy.Load(),
+		},
+		Latency: make(map[string]HistogramSnapshot),
+	}
+	if cache != nil {
+		cs := cache.Stats()
+		s.Cache = CacheStatsView{CacheStats: cs, HitRate: cs.HitRate()}
+	}
+	if mgr != nil {
+		s.Jobs.QueueDepth = mgr.QueueDepth()
+		s.Jobs.Workers = mgr.Workers()
+	}
+	m.mu.Lock()
+	for name, h := range m.hists {
+		s.Latency[name] = h.Snapshot()
+	}
+	m.mu.Unlock()
+	return s
+}

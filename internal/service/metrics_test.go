@@ -1,0 +1,100 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := newHistogram()
+	h.Observe(500 * time.Microsecond) // le_1
+	h.Observe(3 * time.Millisecond)   // le_5
+	h.Observe(600 * time.Millisecond) // le_1000
+	h.Observe(2 * time.Minute)        // overflow
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d; want 4", s.Count)
+	}
+	want := map[string]int64{"le_1": 1, "le_5": 1, "le_1000": 1, "le_inf": 1}
+	for k, n := range want {
+		if s.Buckets[k] != n {
+			t.Errorf("bucket %s = %d; want %d (all: %v)", k, s.Buckets[k], n, s.Buckets)
+		}
+	}
+	if s.MaxMS != 120000 {
+		t.Errorf("max = %vms; want 120000", s.MaxMS)
+	}
+	if s.P50MS != 1000 {
+		t.Errorf("p50 = %vms; want 1000 (bucket bound holding the upper median, 600ms)", s.P50MS)
+	}
+	if s.P99MS != s.MaxMS {
+		t.Errorf("p99 = %vms; want max for overflow-bucket tail", s.P99MS)
+	}
+	if s.MeanMS <= 0 {
+		t.Errorf("mean = %vms; want positive", s.MeanMS)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				h.Observe(time.Duration(j) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 800 {
+		t.Fatalf("count = %d; want 800", s.Count)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.JobsSubmitted.Add(3)
+	m.JobsCompleted.Add(2)
+	m.JobsFailed.Add(1)
+	m.ObserveStep("baseline", 40*time.Millisecond)
+	m.ObserveStep("baseline", 60*time.Millisecond)
+	m.ObserveStep("mc", 5*time.Millisecond)
+
+	cache := NewCache(1 << 10)
+	cache.Get("missing") // one miss
+
+	s := m.Snapshot(cache, nil)
+	if s.Jobs.Submitted != 3 || s.Jobs.Completed != 2 || s.Jobs.Failed != 1 {
+		t.Fatalf("job counters = %+v", s.Jobs)
+	}
+	if s.Cache.Misses != 1 || s.Cache.CapBytes != 1<<10 {
+		t.Fatalf("cache view = %+v", s.Cache)
+	}
+	if got := s.Latency["baseline"].Count; got != 2 {
+		t.Fatalf("baseline count = %d; want 2", got)
+	}
+	if got := s.Latency["mc"].Count; got != 1 {
+		t.Fatalf("mc count = %d; want 1", got)
+	}
+	if s.UptimeS < 0 {
+		t.Fatalf("uptime = %v", s.UptimeS)
+	}
+}
+
+func TestObserveStepNilRegistry(t *testing.T) {
+	var m *Metrics
+	m.ObserveStep("baseline", time.Second) // must not panic
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[float64]string{1: "le_1", 25: "le_25", 30000: "le_30000"}
+	for ms, want := range cases {
+		if got := formatBound(ms); got != want {
+			t.Errorf("formatBound(%v) = %q; want %q", ms, got, want)
+		}
+	}
+}

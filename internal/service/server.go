@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"vipipe/internal/flowerr"
+	"vipipe/internal/service/wire"
+)
+
+// Server is the HTTP frontend of the job manager.
+//
+// Endpoints:
+//
+//	POST /jobs             submit a Request           -> 202 + JobSnapshot
+//	GET  /jobs             list jobs                  -> 200 + [JobSnapshot]
+//	GET  /jobs/{id}        job status                 -> 200 + JobSnapshot
+//	GET  /jobs/{id}/result fetch a terminal result    -> 200 + wire DTO,
+//	                       or the flowerr-mapped status of the failure
+//	POST /jobs/{id}/cancel request cancellation       -> 200 + JobSnapshot
+//	GET  /metrics          metrics snapshot           -> 200 + Snapshot
+//	GET  /healthz          liveness                   -> 200
+//
+// Failure classes map onto statuses via flowerr.HTTPStatus: bad input
+// 400, step order 409, cancelled 499, no-scenario and DRC 422, panics
+// and partial steps 500. Submission while draining is 503; a full
+// queue is 429.
+type Server struct {
+	mgr *Manager
+	m   *Metrics
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(mgr *Manager, m *Metrics) *Server {
+	s := &Server{mgr: mgr, m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = wire.Encode(w, v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Class: flowerr.Class(err)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, flowerr.BadInputf("service: bad request body: %v", err))
+		return
+	}
+	job, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeError(w, flowerr.HTTPStatus(err), err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, flowerr.BadInputf("service: no job %q", id))
+	}
+	return job, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res, err := job.Result()
+	if err != nil {
+		writeError(w, flowerr.HTTPStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.mgr.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, flowerr.BadInputf("service: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Snapshot(s.mgr.eng.Cache(), s.mgr))
+}

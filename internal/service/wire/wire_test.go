@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vipipe/internal/drc"
+	"vipipe/internal/mc"
+	"vipipe/internal/netlist"
+	"vipipe/internal/power"
+	"vipipe/internal/stats"
+	"vipipe/internal/variation"
+	"vipipe/internal/vi"
+)
+
+// fakeMC builds a synthetic characterization: execute violating hard,
+// decode marginal, writeback clean — scenario 2.
+func fakeMC() *mc.Result {
+	mk := func(mu, sigma float64) *mc.StageDist {
+		return &mc.StageDist{
+			Fit:      stats.Normal{Mu: mu, Sigma: sigma},
+			ViolProb: stats.Normal{Mu: mu, Sigma: sigma}.CDF(0),
+			GOF:      stats.GOFResult{PValue: 0.4, Accepted: true, Bins: 8},
+		}
+	}
+	return &mc.Result{
+		Pos:       variation.Pos{Name: "B", XMM: 5.7, YMM: 5.7},
+		ClockPS:   4000,
+		Samples:   118,
+		Requested: 120,
+		Skipped:   []int{3, 77},
+		PerStage: map[netlist.Stage]*mc.StageDist{
+			netlist.StageDecode:    mk(-20, 30),
+			netlist.StageExecute:   mk(-150, 25),
+			netlist.StageWriteback: mk(200, 40),
+		},
+	}
+}
+
+func TestMCResultRoundTrip(t *testing.T) {
+	got := FromMCResult(fakeMC())
+	if got.Scenario != 2 {
+		t.Fatalf("scenario = %d, want 2", got.Scenario)
+	}
+	if len(got.ViolatingStages) != 2 || got.ViolatingStages[0] != "EXECUTE" {
+		t.Fatalf("violating stages = %v", got.ViolatingStages)
+	}
+	if got.Samples != 118 || got.Requested != 120 || len(got.SkippedSamples) != 2 {
+		t.Fatalf("sample accounting lost: %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	var back MCResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Position != "B" || back.ClockPS != 4000 || len(back.Stages) != 3 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	for _, st := range back.Stages {
+		if st.Stage == "EXECUTE" && st.MuPS != -150 {
+			t.Errorf("execute mu = %g, want -150", st.MuPS)
+		}
+	}
+	if !strings.Contains(buf.String(), `"mu_ps"`) {
+		t.Error("wire JSON missing snake_case field names")
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	p := &vi.Partition{
+		Strategy:  vi.Vertical,
+		StartSide: vi.Left,
+		Islands: []vi.Island{
+			{Index: 1, FromUM: 0, ToUM: 120, Cells: []int{0, 1, 2}},
+			{Index: 2, FromUM: 120, ToUM: 260, Cells: []int{3}},
+		},
+	}
+	got := FromPartition(p)
+	if got.Strategy != "vertical" || got.StartSide != "left" {
+		t.Fatalf("strategy/side = %q/%q", got.Strategy, got.StartSide)
+	}
+	if len(got.Islands) != 2 || got.Islands[0].Cells != 3 || got.Islands[1].ToUM != 260 {
+		t.Fatalf("islands = %+v", got.Islands)
+	}
+	if got.Shifters != 0 || got.ShifterAreaFrac != 0 {
+		t.Fatalf("pre-insertion partition has shifter stats: %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	var back Partition
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Islands[1].Index != 2 || back.Islands[1].FromUM != 120 {
+		t.Fatalf("round trip lost island geometry: %+v", back.Islands)
+	}
+}
+
+func TestPowerReportRoundTrip(t *testing.T) {
+	r := &power.Report{
+		FreqMHz:       250,
+		DynamicMW:     28.4,
+		LeakMW:        0.4,
+		ShifterDynMW:  0.8,
+		ShifterLeakMW: 0.1,
+		ByUnit: []power.UnitPower{
+			{Unit: "regfile", DynamicMW: 15, LeakMW: 0.2},
+			{Unit: "execute", DynamicMW: 8, LeakMW: 0.1},
+		},
+		ByDomain: [2]power.UnitPower{
+			{DynamicMW: 20, LeakMW: 0.3},
+			{DynamicMW: 8.4, LeakMW: 0.1},
+		},
+	}
+	got := FromPowerReport(r)
+	if got.TotalMW != r.TotalMW() || got.ShifterFrac != r.ShifterFrac() {
+		t.Fatalf("derived totals wrong: %+v", got)
+	}
+	if got.HighRail.DynamicMW != 8.4 || got.LowRail.TotalMW != 20.3 {
+		t.Fatalf("rail split wrong: %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	var back PowerReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ByUnit) != 2 || back.ByUnit[0].Unit != "regfile" || back.ByUnit[0].TotalMW != 15.2 {
+		t.Fatalf("round trip lost unit breakdown: %+v", back.ByUnit)
+	}
+}
+
+func TestDRCReportRoundTrip(t *testing.T) {
+	clean := FromDRCReport(&drc.Report{})
+	if !clean.Clean || len(clean.Violations) != 0 {
+		t.Fatalf("clean report = %+v", clean)
+	}
+	dirty := FromDRCReport(&drc.Report{
+		Violations: []drc.Violation{{Rule: "comb-loop", Msg: "cycle through inst 7"}},
+		Truncated:  3,
+	})
+	if dirty.Clean || dirty.Truncated != 3 {
+		t.Fatalf("dirty report = %+v", dirty)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, dirty); err != nil {
+		t.Fatal(err)
+	}
+	var back DRCReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Violations[0].Rule != "comb-loop" {
+		t.Fatalf("round trip lost violation: %+v", back)
+	}
+}

@@ -34,6 +34,9 @@ package vipipe
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"vipipe/internal/cell"
@@ -99,6 +102,23 @@ func DefaultConfig() Config {
 		VISamples:    60,
 		SensorBudget: razor.DefaultBudget,
 	}
+}
+
+// Hash returns a stable content hash of the configuration, suitable
+// for keying caches of flow artifacts: two configs with the same hash
+// produce bit-identical netlists, placements and characterizations
+// (the flow is deterministic for a given Config, see DESIGN.md §6).
+// The hash covers every exported field via deterministic JSON
+// (encoding/json sorts map keys).
+func (c Config) Hash() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a tree of plain exported value fields; Marshal
+		// cannot fail on it short of a programming error.
+		panic(fmt.Sprintf("vipipe: config hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
 }
 
 // TestConfig is DefaultConfig on the reduced core with lighter Monte
@@ -219,11 +239,6 @@ func (f *Flow) Characterize(ctx context.Context) error {
 		return flowerr.StepOrderf("vipipe: Characterize before Analyze")
 	}
 	f.MC = make(map[string]*mc.Result)
-	type classified struct {
-		pos variation.Pos
-		sc  mc.Scenario
-	}
-	var ladder []classified
 	for _, pos := range f.Cfg.Model.DiagonalPositions() {
 		res, err := mc.Run(ctx, f.STA, &f.Cfg.Model, pos, mc.Options{
 			Samples:        f.Cfg.MCSamples,
@@ -240,15 +255,38 @@ func (f *Flow) Characterize(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
+	}
+	ladder, err := ScenarioLadder(f.Cfg.Model.DiagonalPositions(), f.MC)
+	if err != nil {
+		return err
+	}
+	f.ScenarioPositions = ladder
+	return nil
+}
+
+// ScenarioLadder derives the scenario positions from per-position
+// Monte Carlo results: island k is sized to compensate the most severe
+// chip position that will be treated with only k islands, i.e. the
+// last position (walking from worst A to best D in the given order)
+// whose classification is still at least k. With the canonical ladder
+// A=3, B=2, C=1, D=0 this selects C, B, A. It is shared by
+// Flow.Characterize and service frontends that assemble the ladder
+// from cached characterizations.
+func ScenarioLadder(order []variation.Pos, results map[string]*mc.Result) ([]variation.Pos, error) {
+	type classified struct {
+		pos variation.Pos
+		sc  mc.Scenario
+	}
+	var ladder []classified
+	for _, pos := range order {
+		res, ok := results[pos.Name]
+		if !ok || res == nil {
+			return nil, flowerr.BadInputf("vipipe: scenario ladder missing characterization at position %s", pos.Name)
+		}
 		sc, _ := res.Classify(0)
 		ladder = append(ladder, classified{pos, sc})
 	}
-	// Scenario positions: island k is sized to compensate the most
-	// severe chip position that will be treated with only k islands,
-	// i.e. the last position (walking from worst A to best D) whose
-	// classification is still at least k. With the canonical ladder
-	// A=3, B=2, C=1, D=0 this selects C, B, A.
-	f.ScenarioPositions = nil
+	var out []variation.Pos
 	for want := mc.Scenario(1); want <= 3; want++ {
 		var chosen *variation.Pos
 		for i := range ladder {
@@ -257,13 +295,13 @@ func (f *Flow) Characterize(ctx context.Context) error {
 			}
 		}
 		if chosen != nil {
-			f.ScenarioPositions = append(f.ScenarioPositions, *chosen)
+			out = append(out, *chosen)
 		}
 	}
-	if len(f.ScenarioPositions) == 0 {
-		return flowerr.NoScenariof("vipipe: no violation scenarios found — nothing to compensate")
+	if len(out) == 0 {
+		return nil, flowerr.NoScenariof("vipipe: no violation scenarios found — nothing to compensate")
 	}
-	return nil
+	return out, nil
 }
 
 // SensorPlan derives the Razor sensor placement from the worst-case
@@ -418,15 +456,26 @@ func (f *Flow) ChipWidePower(pos variation.Pos) (*power.Report, error) {
 // violation otherwise. part may be nil. Run it between steps to catch
 // corrupted state before it reaches a hot loop.
 func (f *Flow) Check(part *vi.Partition) error {
+	rep, err := f.CheckReport(part)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// CheckReport runs the same design-rule battery as Check but returns
+// the full report, so service frontends can serialize the violation
+// list instead of flattening it into an error string.
+func (f *Flow) CheckReport(part *vi.Partition) (*drc.Report, error) {
 	if f.NL == nil {
-		return flowerr.StepOrderf("vipipe: Check before Synthesize")
+		return nil, flowerr.StepOrderf("vipipe: Check before Synthesize")
 	}
 	in := drc.Inputs{NL: f.NL, PL: f.PL, Derate: f.Derate}
 	if part != nil {
 		in.Region = part.Region
 		in.ShiftersInserted = len(part.Shifters) > 0
 	}
-	return drc.Check(in).Err()
+	return drc.Check(in), nil
 }
 
 // Run executes the standard sequence through Characterize.
