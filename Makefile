@@ -3,12 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fault fuzz service-it ci clean
+.PHONY: all build fmt vet test race fault fuzz service-it ci clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Formatting gate: fails listing the offending files, so ci rejects
+# unformatted code instead of silently reformatting it.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -17,10 +23,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy engines (Monte Carlo dispatch/cancellation,
-# gate-level simulation) and the facade run under the race detector;
-# this is what validates the worker-drain guarantees of mc.Run.
+# gate-level simulation, the pipeline graph scheduler) and the facade
+# run under the race detector; this is what validates the worker-drain
+# guarantees of mc.Run and the graph's concurrent node scheduling.
 race:
-	$(GO) test -race . ./internal/mc ./internal/gsim ./internal/vexsim ./internal/flowerr ./internal/drc
+	$(GO) test -race . ./internal/pipeline ./internal/mc ./internal/gsim ./internal/vexsim ./internal/flowerr ./internal/drc
 
 # The fault-injection suite: corrupted SDF/DEF/netlist/placement/region
 # artifacts must yield typed errors, never panics.
@@ -40,7 +47,7 @@ fuzz:
 service-it:
 	$(GO) test -race -count=1 ./internal/service/... ./cmd/vipiped
 
-ci: vet build race test fault service-it
+ci: fmt vet build race test fault service-it
 
 clean:
 	$(GO) clean ./...

@@ -9,22 +9,24 @@ import (
 	"fmt"
 	"os"
 
+	"vipipe/internal/cliutil"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/stats"
 	"vipipe/internal/variation"
 )
 
+var app = cliutil.New("lgatemap")
+
 func main() {
-	n := flag.Int("n", 28, "grid resolution (cells per chip edge)")
+	app.SeedFlag()
+	app.NFlag(28, "grid resolution (cells per chip edge)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 	random := flag.Bool("random", false, "overlay the per-gate random Lgate component on the systematic map")
-	seed := flag.Int64("seed", 1, "random seed (draws for the -random overlay)")
 	flag.Parse()
 
+	n, seed := &app.N, &app.Seed
 	if *n < 2 {
-		err := flowerr.BadInputf("lgatemap: grid resolution %d, need at least 2", *n)
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(flowerr.ExitCode(err))
+		app.Fatal(flowerr.BadInputf("grid resolution %d, need at least 2", *n))
 	}
 
 	m := variation.Default()

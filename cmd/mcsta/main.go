@@ -7,51 +7,38 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"vipipe"
-	"vipipe/internal/flowerr"
+	"vipipe/internal/cliutil"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
 	"vipipe/internal/service/wire"
 	"vipipe/internal/stats"
 )
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcsta:", err)
-	os.Exit(flowerr.ExitCode(err))
-}
+var app = cliutil.New("mcsta")
+
+func fatal(err error) { app.Fatal(err) }
 
 func main() {
-	small := flag.Bool("small", false, "use the reduced test core instead of the full 32-bit 4-slot core")
-	samples := flag.Int("samples", 0, "Monte Carlo samples (0 = config default)")
-	seed := flag.Int64("seed", 1, "random seed")
-	jsonOut := flag.Bool("json", false, "emit the characterization as JSON (wire schema, same as vipiped)")
+	app.ConfigFlags(false)
+	app.SamplesFlag()
+	app.JSONFlag()
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := app.Context()
 	defer stop()
 
-	cfg := vipipe.DefaultConfig()
-	if *small {
-		cfg = vipipe.TestConfig()
-	}
-	if *samples > 0 {
-		cfg.MCSamples = *samples
-	}
-	cfg.Seed = *seed
-
+	cfg := app.Config()
 	f := vipipe.New(cfg)
 	if err := f.Run(ctx); err != nil {
 		fatal(err)
 	}
 
-	if *jsonOut {
+	if app.JSON {
 		out := struct {
 			Cells     int             `json:"cells"`
 			ClockPS   float64         `json:"clock_ps"`

@@ -14,38 +14,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"vipipe"
+	"vipipe/internal/cliutil"
 	"vipipe/internal/def"
-	"vipipe/internal/flowerr"
 	"vipipe/internal/sdf"
 	"vipipe/internal/sta"
 	"vipipe/internal/verilog"
 )
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "netio:", err)
-	os.Exit(flowerr.ExitCode(err))
-}
+var app = cliutil.New("netio")
+
+func fatal(err error) { app.Fatal(err) }
 
 func main() {
-	small := flag.Bool("small", true, "use the reduced test core")
+	app.ConfigFlags(true)
+	app.PosFlag("A", "chip position (A-D) for the variability-injection round trip")
 	sdfPath := flag.String("sdf", "", "write nominal delays as SDF to this path")
 	vPath := flag.String("verilog", "", "write the netlist as structural Verilog to this path")
 	defPath := flag.String("def", "", "write the placement as DEF to this path")
-	inject := flag.String("inject", "A", "chip position (A-D) for the variability-injection round trip")
-	seed := flag.Int64("seed", 1, "random seed (placement and workload)")
 	flag.Parse()
 
-	cfg := vipipe.TestConfig()
-	if !*small {
-		cfg = vipipe.DefaultConfig()
-	}
-	cfg.Seed = *seed
-	cfg.Place.Seed = *seed
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	cfg := app.Config()
+	cfg.Place.Seed = app.Seed
+	ctx, stop := app.Context()
 	defer stop()
 
 	f := vipipe.New(cfg)
@@ -99,7 +91,7 @@ func main() {
 
 	// Variability injection: scale delays by the position's
 	// systematic Lgate map, write, re-parse, re-time.
-	pos, err := f.Position(*inject)
+	pos, err := app.Position(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,16 +5,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"vipipe"
-	"vipipe/internal/flowerr"
+	"vipipe/internal/cliutil"
 	"vipipe/internal/service/wire"
 	"vipipe/internal/vi"
 )
@@ -23,10 +20,9 @@ func indent(s string) string {
 	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vigen:", err)
-	os.Exit(flowerr.ExitCode(err))
-}
+var app = cliutil.New("vigen")
+
+func fatal(err error) { app.Fatal(err) }
 
 // jsonEntry is the -json record per strategy: the wire-encoded
 // partition (after shifter insertion, so counts and area are filled)
@@ -37,21 +33,21 @@ type jsonEntry struct {
 }
 
 func main() {
-	small := flag.Bool("small", false, "use the reduced test core")
-	seed := flag.Int64("seed", 1, "random seed")
-	jsonOut := flag.Bool("json", false, "emit the partitions as JSON (wire schema, same as vipiped)")
+	app.ConfigFlags(false)
+	app.JSONFlag()
+	app.StrategyFlag("vertical,horizontal", "comma-separated slicing strategies to compare")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := app.Context()
 	defer stop()
 
+	strategies, err := app.Strategies()
+	if err != nil {
+		fatal(err)
+	}
 	var entries []jsonEntry
-	for _, strat := range []vi.Strategy{vi.Vertical, vi.Horizontal} {
-		cfg := vipipe.DefaultConfig()
-		if *small {
-			cfg = vipipe.TestConfig()
-		}
-		cfg.Seed = *seed
+	for _, strat := range strategies {
+		cfg := app.Config()
 		// A fresh flow per strategy: shifter insertion mutates the
 		// netlist.
 		f := vipipe.New(cfg)
@@ -62,7 +58,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%v slicing: %w", strat, err))
 		}
-		if !*jsonOut {
+		if !app.JSON {
 			fmt.Printf("== %v slicing (start side: %v) — Fig. 4\n", strat, part.StartSide)
 			axis := "x"
 			if strat == vi.Horizontal {
@@ -78,7 +74,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *jsonOut {
+		if app.JSON {
 			entries = append(entries, jsonEntry{Partition: wire.FromPartition(part), Degradation: degr})
 			continue
 		}
@@ -87,7 +83,7 @@ func main() {
 		fmt.Printf("  post-insertion critical-path degradation: %.1f%% (paper: 8%% ver / 15%% hor)\n\n",
 			100*degr)
 	}
-	if *jsonOut {
+	if app.JSON {
 		if err := wire.Encode(os.Stdout, entries); err != nil {
 			fatal(err)
 		}

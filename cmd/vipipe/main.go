@@ -8,12 +8,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 
 	"vipipe"
+	"vipipe/internal/cliutil"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/power"
@@ -21,32 +19,22 @@ import (
 	"vipipe/internal/vi"
 )
 
-// fatal prints the error and exits with its flowerr class code, so
-// scripts can distinguish bad input from cancellation from DRC fails.
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vipipe:", err)
-	os.Exit(flowerr.ExitCode(err))
-}
+var app = cliutil.New("vipipe")
+
+func fatal(err error) { app.Fatal(err) }
 
 var runDRC bool
 
 func main() {
-	small := flag.Bool("small", false, "use the reduced test core")
-	seed := flag.Int64("seed", 1, "random seed")
+	app.ConfigFlags(false)
 	experiment := flag.String("experiment", "all", "one of: all, timing, table1, table2, fig5, fig6")
 	flag.BoolVar(&runDRC, "drc", false, "run design-rule checks between flow steps and fail on violations")
 	flag.Parse()
 
-	// Ctrl-C cancels the flow cleanly: workers drain and the exit code
-	// reports cancellation instead of a half-written report.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := app.Context()
 	defer stop()
 
-	cfg := vipipe.DefaultConfig()
-	if *small {
-		cfg = vipipe.TestConfig()
-	}
-	cfg.Seed = *seed
+	cfg := app.Config()
 
 	switch *experiment {
 	case "timing", "table1":

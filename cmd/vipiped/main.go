@@ -21,18 +21,16 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"vipipe/internal/cliutil"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/service"
 )
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vipiped:", err)
-	os.Exit(flowerr.ExitCode(err))
-}
+var app = cliutil.New("vipiped")
+
+func fatal(err error) { app.Fatal(err) }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8639", "listen address (port 0 picks a free port, printed on stdout)")
@@ -42,7 +40,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := app.Context()
 	defer stop()
 
 	metrics := service.NewMetrics()

@@ -1,0 +1,218 @@
+package vipipe
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/mc"
+	"vipipe/internal/pipeline"
+	"vipipe/internal/power"
+	"vipipe/internal/service/wire"
+	"vipipe/internal/sta"
+	"vipipe/internal/variation"
+	"vipipe/internal/vex"
+	"vipipe/internal/vexsim"
+	"vipipe/internal/vi"
+
+	"vipipe/internal/place"
+)
+
+// seedArtifacts reproduces the pre-refactor imperative flow — the
+// step-by-step substrate calls the seed's Flow methods made, in the
+// seed's sequential order — without touching Flow or the pipeline
+// graph. It is the reference the graph-driven path must match bit for
+// bit.
+type seedArtifacts struct {
+	clockPS float64
+	fmaxMHz float64
+	mc      map[string]*mc.Result
+	ladder  []variation.Pos
+	part    *vi.Partition
+	chipA   *power.Report
+	scenB   *power.Report
+}
+
+func runSeedPath(t *testing.T, ctx context.Context, cfg Config) seedArtifacts {
+	t.Helper()
+	lib := cell.Default65nm()
+	core, err := vex.Build(cfg.Core, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := core.NL
+	pl, err := place.Global(nl, cfg.Place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sta.New(nl, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := a.Run(1e12, nil)
+	clock := nominal.CritPS * (1 + cfg.ClockGuard)
+	derate, err := a.SlackRecoveryCtx(ctx, clock, cfg.Recovery, cfg.MaxDerate, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := make(map[string]*mc.Result)
+	for _, pos := range cfg.Model.DiagonalPositions() {
+		res, err := mc.Run(ctx, a, &cfg.Model, pos, mc.Options{
+			Samples:        cfg.MCSamples,
+			Seed:           cfg.Seed,
+			ClockPS:        clock,
+			Derate:         derate,
+			PanicTolerance: cfg.PanicTolerance,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[pos.Name] = res
+	}
+	ladder, err := ScenarioLadder(cfg.Model.DiagonalPositions(), results)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	part, err := vi.Generate(ctx, a, &cfg.Model, ladder, vi.Options{
+		Strategy: vi.Vertical,
+		ClockPS:  clock,
+		Derate:   derate,
+		Samples:  cfg.VISamples,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fir, err := vexsim.NewFIR(cfg.Core, cfg.FIRSamples, cfg.FIRTaps, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := vexsim.NewTestbench(core, fir.Prog, fir.DMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.RunContext(ctx, fir.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	activity := tb.Activity()
+
+	analyze := func(domains []cell.Domain, pos variation.Pos) *power.Report {
+		lg := make([]float64, nl.NumCells())
+		for i := range lg {
+			cx, cy := pl.Center(i)
+			lg[i] = cfg.Model.SystematicLgateNM(pos.XMM+cx/1000, pos.YMM+cy/1000)
+		}
+		rep, err := power.Analyze(power.Inputs{
+			NL: nl, PL: pl, Activity: activity,
+			FreqMHz: sta.FmaxMHz(clock), Domains: domains, LgateNM: lg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	posA, _ := cfg.Model.Position("A")
+	posB, _ := cfg.Model.Position("B")
+	high := make([]cell.Domain, nl.NumCells())
+	for i := range high {
+		high[i] = cell.DomainHigh
+	}
+	return seedArtifacts{
+		clockPS: clock,
+		fmaxMHz: sta.FmaxMHz(clock),
+		mc:      results,
+		ladder:  ladder,
+		part:    part,
+		chipA:   analyze(high, posA),
+		scenB:   analyze(part.Domains(2), posB),
+	}
+}
+
+// encode renders an artifact through the wire codecs — the byte-level
+// form the daemon and the -json CLI modes emit.
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGraphFlowMatchesSeedPath is the refactor's equivalence proof:
+// for the quickstart (Test) config, the graph-driven Flow produces
+// bit-identical characterizations, partition and power reports to the
+// seed's imperative sequence, compared via their canonical wire
+// encodings.
+func TestGraphFlowMatchesSeedPath(t *testing.T) {
+	ctx := context.Background()
+	cfg := TestConfig()
+	want := runSeedPath(t, ctx, cfg)
+
+	f := New(cfg)
+	if err := f.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.ClockPS != want.clockPS || f.FmaxMHz != want.fmaxMHz {
+		t.Errorf("clock %.6f/%.6f MHz, seed path %.6f/%.6f",
+			f.ClockPS, f.FmaxMHz, want.clockPS, want.fmaxMHz)
+	}
+	for _, pos := range cfg.Model.DiagonalPositions() {
+		got := encode(t, wire.FromMCResult(f.MC[pos.Name]))
+		ref := encode(t, wire.FromMCResult(want.mc[pos.Name]))
+		if !bytes.Equal(got, ref) {
+			t.Errorf("characterization at %s diverges from the seed path", pos.Name)
+		}
+	}
+	if len(f.ScenarioPositions) != len(want.ladder) {
+		t.Fatalf("ladder %v, seed path %v", f.ScenarioPositions, want.ladder)
+	}
+	for i := range want.ladder {
+		if f.ScenarioPositions[i] != want.ladder[i] {
+			t.Errorf("ladder[%d] = %v, seed path %v", i, f.ScenarioPositions[i], want.ladder[i])
+		}
+	}
+
+	part, err := f.GenerateIslands(ctx, vi.Vertical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := encode(t, wire.FromPartition(part)), encode(t, wire.FromPartition(want.part)); !bytes.Equal(got, ref) {
+		t.Error("vertical partition diverges from the seed path")
+	}
+
+	if err := f.SimulateWorkload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	posA, _ := f.Position("A")
+	posB, _ := f.Position("B")
+	chipA, err := f.ChipWidePower(posA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := encode(t, wire.FromPowerReport(chipA)), encode(t, wire.FromPowerReport(want.chipA)); !bytes.Equal(got, ref) {
+		t.Error("chip-wide power at A diverges from the seed path")
+	}
+	scenB, err := f.ScenarioPower(part, 2, posB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := encode(t, wire.FromPowerReport(scenB)), encode(t, wire.FromPowerReport(want.scenB)); !bytes.Equal(got, ref) {
+		t.Error("scenario-2 power at B diverges from the seed path")
+	}
+
+	// The service engine rides the same graph: its artifacts must
+	// match too, through a fresh graph over a fresh store.
+	g := NewGraph(cfg, pipeline.NewMemStore())
+	v, err := g.RequestOne(ctx, NodeScenarioPower(vi.Vertical, 2, "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := encode(t, wire.FromPowerReport(v.(*power.Report))), encode(t, wire.FromPowerReport(want.scenB)); !bytes.Equal(got, ref) {
+		t.Error("graph scenario-power artifact diverges from the seed path")
+	}
+}

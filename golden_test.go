@@ -1,0 +1,43 @@
+package vipipe
+
+import "testing"
+
+// TestConfigHashGolden pins the content hashes that key every cached
+// artifact ("<hash>/<node>"): the daemon's warm-cache behaviour and
+// any on-disk store depend on these staying put, so a refactor that
+// silently changes them (field rename, new field without a version
+// bump, different serialization) must fail here, not in production.
+//
+// If a change intentionally alters the hash (adding a Config field is
+// the usual cause), update the values AND call it out in the change
+// description: every deployed cache goes cold.
+func TestConfigHashGolden(t *testing.T) {
+	seed7 := TestConfig()
+	seed7.Seed = 7
+	mc500 := DefaultConfig()
+	mc500.MCSamples = 500
+	golden := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"default", DefaultConfig(), "61190e8ea2d36328f4d40beb065f778c"},
+		{"test", TestConfig(), "c3534cf3012b067bbd91a10f19abef4c"},
+		{"test-seed7", seed7, "1107b343c3356096073b0bf1c7364bd0"},
+		{"default-mc500", mc500, "37fefb256730ee0eda98981c077771d4"},
+	}
+	for _, g := range golden {
+		if got := g.cfg.Hash(); got != g.want {
+			t.Errorf("%s: Hash() = %s, want %s — cache keys changed, see test comment", g.name, got, g.want)
+		}
+	}
+	// Sanity: distinct configs must not collide.
+	seen := map[string]string{}
+	for _, g := range golden {
+		h := g.cfg.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %s and %s", prev, g.name)
+		}
+		seen[h] = g.name
+	}
+}

@@ -1,0 +1,134 @@
+// Package cliutil carries the flag plumbing shared by the cmd/ tools:
+// the common flag set (-small, -seed, -samples, -n, -json, -pos,
+// -strategy), profile-based config construction, signal-bound
+// contexts, and flowerr-coded exits. Each tool opts into the subset of
+// flags it understands before flag.Parse, so per-tool help output
+// stays accurate while names, defaults and usage strings stay
+// consistent across the suite.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"vipipe"
+	"vipipe/internal/flowerr"
+	"vipipe/internal/variation"
+	"vipipe/internal/vi"
+)
+
+// App is one command-line tool's shared state: the values of whichever
+// common flags it registered, and its name for error reporting.
+type App struct {
+	Name string
+
+	Small    bool
+	Seed     int64
+	Samples  int
+	JSON     bool
+	N        int
+	Pos      string
+	Strategy string
+}
+
+// New returns an App for the named tool. No flags are registered yet.
+func New(name string) *App { return &App{Name: name, Seed: 1} }
+
+// SeedFlag registers -seed.
+func (a *App) SeedFlag() {
+	flag.Int64Var(&a.Seed, "seed", 1, "random seed")
+}
+
+// SmallFlag registers -small with the given default (most tools
+// default to the full core; netio defaults to the reduced one).
+func (a *App) SmallFlag(def bool) {
+	flag.BoolVar(&a.Small, "small", def, "use the reduced test core instead of the full 32-bit 4-slot core")
+}
+
+// ConfigFlags registers the profile pair -small and -seed.
+func (a *App) ConfigFlags(smallDefault bool) {
+	a.SmallFlag(smallDefault)
+	a.SeedFlag()
+}
+
+// SamplesFlag registers -samples (Monte Carlo sample override).
+func (a *App) SamplesFlag() {
+	flag.IntVar(&a.Samples, "samples", 0, "Monte Carlo samples (0 = config default)")
+}
+
+// JSONFlag registers -json.
+func (a *App) JSONFlag() {
+	flag.BoolVar(&a.JSON, "json", false, "emit JSON (wire schema, same as vipiped)")
+}
+
+// NFlag registers -n with a tool-specific meaning.
+func (a *App) NFlag(def int, usage string) {
+	flag.IntVar(&a.N, "n", def, usage)
+}
+
+// PosFlag registers -pos, a chip position name A-D.
+func (a *App) PosFlag(def, usage string) {
+	flag.StringVar(&a.Pos, "pos", def, usage)
+}
+
+// StrategyFlag registers -strategy, one or more comma-separated
+// slicing strategies (see Strategies).
+func (a *App) StrategyFlag(def, usage string) {
+	flag.StringVar(&a.Strategy, "strategy", def, usage)
+}
+
+// Config resolves the profile flags into a flow configuration.
+func (a *App) Config() vipipe.Config {
+	cfg := vipipe.DefaultConfig()
+	if a.Small {
+		cfg = vipipe.TestConfig()
+	}
+	cfg.Seed = a.Seed
+	if a.Samples > 0 {
+		cfg.MCSamples = a.Samples
+	}
+	return cfg
+}
+
+// Position resolves the -pos flag against the config's variation
+// model.
+func (a *App) Position(cfg vipipe.Config) (variation.Pos, error) {
+	if p, ok := cfg.Model.Position(a.Pos); ok {
+		return p, nil
+	}
+	return variation.Pos{}, flowerr.BadInputf("unknown chip position %q (model defines A-D)", a.Pos)
+}
+
+// Strategies parses the -strategy flag as a comma-separated strategy
+// list, in order and case-insensitively.
+func (a *App) Strategies() ([]vi.Strategy, error) {
+	var out []vi.Strategy
+	for _, name := range strings.Split(a.Strategy, ",") {
+		s, err := vi.ParseStrategy(strings.ToLower(strings.TrimSpace(name)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Context returns a context cancelled on SIGINT/SIGTERM, so Ctrl-C
+// drains workers cleanly and the exit code reports cancellation
+// instead of a half-written report.
+func (a *App) Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Fatal prints err under the tool's name and exits with its flowerr
+// class code, so scripts can distinguish bad input from cancellation
+// from DRC failures.
+func (a *App) Fatal(err error) {
+	fmt.Fprintln(os.Stderr, a.Name+":", err)
+	os.Exit(flowerr.ExitCode(err))
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+
+	"vipipe/internal/flowerr"
+)
+
+// Store is the pluggable artifact store behind a Graph: a
+// content-addressed map from node keys to computed artifacts with
+// singleflight semantics. Do returns the value for key, computing it
+// at most once however many goroutines — across however many graphs
+// sharing the store — ask concurrently. compute reports the
+// artifact's approximate retained size in bytes so bounded stores can
+// evict; a failed compute must never be cached, so the next caller
+// retries. Waiters honor ctx and return an error matching
+// flowerr.ErrCancelled when it expires while the compute (owned by
+// the first caller) continues for the others.
+//
+// The two canonical implementations are MemStore (below) and the
+// size-bounded singleflight LRU cache of internal/service.
+type Store interface {
+	Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, error)
+}
+
+// MemStore is the minimal Store: an unbounded in-memory map with
+// singleflight computes. It backs private per-flow graphs where
+// artifacts live exactly as long as the flow that owns them.
+type MemStore struct {
+	mu       sync.Mutex
+	vals     map[string]any
+	inflight map[string]*memCall
+}
+
+type memCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		vals:     make(map[string]any),
+		inflight: make(map[string]*memCall),
+	}
+}
+
+// Do implements Store.
+func (s *MemStore) Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, error) {
+	for {
+		s.mu.Lock()
+		if v, ok := s.vals[key]; ok {
+			s.mu.Unlock()
+			return v, nil
+		}
+		if call, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, flowerr.Cancelledf("pipeline: wait for %q: %w", key, ctx.Err())
+			}
+			if call.err == nil {
+				return call.val, nil
+			}
+			// The computing caller failed (its cancellation, its
+			// panic): retry from the top — this caller may own the
+			// recompute now.
+			if err := ctx.Err(); err != nil {
+				return nil, flowerr.Cancelledf("pipeline: wait for %q: %w", key, err)
+			}
+			continue
+		}
+		call := &memCall{done: make(chan struct{})}
+		s.inflight[key] = call
+		s.mu.Unlock()
+
+		val, _, err := compute()
+		call.val, call.err = val, err
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if err == nil {
+			s.vals[key] = val
+		}
+		s.mu.Unlock()
+		close(call.done)
+		return val, err
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.vals)
+}

@@ -3,11 +3,15 @@ package service
 import (
 	"context"
 	"strings"
+	"sync"
 	"time"
 
 	"vipipe"
+	"vipipe/internal/drc"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
+	"vipipe/internal/pipeline"
+	"vipipe/internal/power"
 	"vipipe/internal/service/wire"
 	"vipipe/internal/variation"
 	"vipipe/internal/vi"
@@ -73,23 +77,52 @@ func (s ConfigSpec) ToConfig() vipipe.Config {
 	return cfg
 }
 
-// Engine answers Requests against a content-addressed artifact cache.
-// It is safe for concurrent use: baselines are immutable once built
-// (the engine never runs the netlist-mutating InsertShifters step) and
-// every flow engine it calls is read-only over them.
+// Engine answers Requests by requesting artifacts from the flow's
+// pipeline graph (vipipe.NewGraph) over the service cache, which
+// implements pipeline.Store: every intermediate — synthesis,
+// placement, timing, per-position characterization, per-strategy
+// partition, power reports — is content-addressed by the config hash
+// plus node ID and deduplicated across concurrent jobs. It is safe
+// for concurrent use: graph artifacts are immutable once built (the
+// engine never runs the netlist-mutating InsertShifters step).
 type Engine struct {
 	cache *Cache
 	m     *Metrics
+
+	mu sync.Mutex
+	// graphs memoizes the per-config node definitions. Entries are a
+	// few closures each (the heavy artifacts live in the bounded
+	// cache, not here), so the map is left to grow with the number of
+	// distinct configs the daemon has seen.
+	graphs map[string]*pipeline.Graph
 }
 
 // NewEngine returns an engine over the given cache and metrics
 // registry (metrics may be nil).
 func NewEngine(cache *Cache, m *Metrics) *Engine {
-	return &Engine{cache: cache, m: m}
+	return &Engine{cache: cache, m: m, graphs: make(map[string]*pipeline.Graph)}
 }
 
 // Cache exposes the engine's cache (for stats).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// graph returns the memoized artifact graph for a config, with hooks
+// feeding the per-artifact latency histograms ("artifact.<node>") and
+// hit counters ("artifact_hits.<node>") of /metrics.
+func (e *Engine) graph(cfg vipipe.Config) *pipeline.Graph {
+	hash := cfg.Hash()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g, ok := e.graphs[hash]; ok {
+		return g
+	}
+	g := vipipe.NewGraph(cfg, e.cache, pipeline.WithHooks(pipeline.Hooks{
+		OnCompute: func(id string, d time.Duration) { e.m.ObserveStep("artifact."+id, d) },
+		OnHit:     func(id string) { e.m.Inc("artifact_hits." + id) },
+	}))
+	e.graphs[hash] = g
+	return g
+}
 
 // Validate checks a request without running it, so frontends can
 // reject malformed submissions synchronously with ErrBadInput.
@@ -122,113 +155,103 @@ func (e *Engine) Validate(req Request) error {
 
 // Run executes one request and returns its wire-typed result:
 // wire.MCResult, wire.Partition, wire.PowerReport, wire.Sweep or
-// wire.DRCReport depending on Kind.
+// wire.DRCReport depending on Kind. Each kind maps to one terminal
+// graph artifact (sweep batches several); the graph schedules the
+// missing parts of the dependency closure concurrently.
 func (e *Engine) Run(ctx context.Context, req Request) (any, error) {
 	if err := e.Validate(req); err != nil {
 		return nil, err
 	}
 	cfg := req.Config.ToConfig()
-	hash := cfg.Hash()
+	g := e.graph(cfg)
 	switch req.Kind {
 	case "characterize":
 		pos, _ := parsePos(cfg, req.Position)
-		res, err := e.characterize(ctx, cfg, hash, pos)
+		v, err := g.RequestOne(ctx, vipipe.NodeMC(pos.Name))
 		if err != nil {
 			return nil, err
 		}
-		return wire.FromMCResult(res), nil
+		return wire.FromMCResult(v.(*mc.Result)), nil
 	case "islands":
 		strat, _ := parseStrategy(req.Strategy)
-		part, err := e.islands(ctx, cfg, hash, strat)
+		v, err := g.RequestOne(ctx, vipipe.NodeIslands(strat))
 		if err != nil {
 			return nil, err
 		}
-		return wire.FromPartition(part), nil
+		return wire.FromPartition(v.(*vi.Partition)), nil
 	case "chipwide_power":
 		pos, _ := parsePos(cfg, req.Position)
-		f, err := e.baseline(ctx, cfg, hash)
+		v, err := g.RequestOne(ctx, vipipe.NodeChipWidePower(pos.Name))
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
-		rep, err := f.ChipWidePower(pos)
-		if err != nil {
-			return nil, err
-		}
-		e.m.ObserveStep("power", time.Since(t0))
-		return wire.FromPowerReport(rep), nil
+		return wire.FromPowerReport(v.(*power.Report)), nil
 	case "scenario_power":
 		strat, _ := parseStrategy(req.Strategy)
 		pos, _ := parsePos(cfg, req.Position)
-		f, err := e.baseline(ctx, cfg, hash)
+		v, err := g.RequestOne(ctx, vipipe.NodeScenarioPower(strat, req.Scenario, pos.Name))
 		if err != nil {
 			return nil, err
 		}
-		part, err := e.islands(ctx, cfg, hash, strat)
-		if err != nil {
-			return nil, err
-		}
-		t0 := time.Now()
-		rep, err := f.ScenarioPower(part, req.Scenario, pos)
-		if err != nil {
-			return nil, err
-		}
-		e.m.ObserveStep("power", time.Since(t0))
-		return wire.FromPowerReport(rep), nil
+		return wire.FromPowerReport(v.(*power.Report)), nil
 	case "sweep":
 		strat, _ := parseStrategy(req.Strategy)
-		return e.sweep(ctx, cfg, hash, strat)
+		return e.sweep(ctx, cfg, g, strat)
 	case "drc":
-		f, err := e.baseline(ctx, cfg, hash)
+		v, err := g.RequestOne(ctx, vipipe.NodeDRC)
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
-		rep, err := f.CheckReport(nil)
-		if err != nil {
-			return nil, err
-		}
-		e.m.ObserveStep("drc", time.Since(t0))
-		return wire.FromDRCReport(rep), nil
+		return wire.FromDRCReport(v.(*drc.Report)), nil
 	default:
 		return nil, flowerr.BadInputf("service: unknown request kind %q", req.Kind)
 	}
 }
 
 // sweep runs the Fig. 5 query: for each diagonal position, classify
-// the scenario from the (cached) characterization and compare the VI
-// design with that many islands raised against the chip-wide high-Vdd
-// baseline.
-func (e *Engine) sweep(ctx context.Context, cfg vipipe.Config, hash string, strat vi.Strategy) (wire.Sweep, error) {
+// the scenario from the characterization and compare the VI design
+// with that many islands raised against the chip-wide high-Vdd
+// baseline. It issues two batched graph requests — characterizations
+// plus partition, then all power reports — so independent nodes run
+// concurrently.
+func (e *Engine) sweep(ctx context.Context, cfg vipipe.Config, g *pipeline.Graph, strat vi.Strategy) (wire.Sweep, error) {
 	out := wire.Sweep{Strategy: strat.String()}
-	f, err := e.baseline(ctx, cfg, hash)
+	positions := cfg.Model.DiagonalPositions()
+
+	ids := []string{vipipe.NodeIslands(strat)}
+	for _, pos := range positions {
+		ids = append(ids, vipipe.NodeMC(pos.Name))
+	}
+	arts, err := g.Request(ctx, ids...)
 	if err != nil {
 		return out, err
 	}
-	part, err := e.islands(ctx, cfg, hash, strat)
-	if err != nil {
-		return out, err
-	}
-	for _, pos := range cfg.Model.DiagonalPositions() {
-		res, err := e.characterize(ctx, cfg, hash, pos)
-		if err != nil {
-			return out, err
-		}
+	part := arts[vipipe.NodeIslands(strat)].(*vi.Partition)
+
+	// The raised-island count per position: its classified scenario,
+	// clamped to the islands the partition actually has.
+	scenario := make(map[string]int, len(positions))
+	powerIDs := make([]string, 0, 2*len(positions))
+	for _, pos := range positions {
+		res := arts[vipipe.NodeMC(pos.Name)].(*mc.Result)
 		sc, _ := res.Classify(0)
 		k := int(sc)
 		if k > part.NumIslands() {
 			k = part.NumIslands()
 		}
-		t0 := time.Now()
-		viRep, err := f.ScenarioPower(part, k, pos)
-		if err != nil {
-			return out, err
-		}
-		baseRep, err := f.ChipWidePower(pos)
-		if err != nil {
-			return out, err
-		}
-		e.m.ObserveStep("power", time.Since(t0))
+		scenario[pos.Name] = k
+		powerIDs = append(powerIDs,
+			vipipe.NodeScenarioPower(strat, k, pos.Name),
+			vipipe.NodeChipWidePower(pos.Name))
+	}
+	arts, err = g.Request(ctx, powerIDs...)
+	if err != nil {
+		return out, err
+	}
+	for _, pos := range positions {
+		k := scenario[pos.Name]
+		viRep := arts[vipipe.NodeScenarioPower(strat, k, pos.Name)].(*power.Report)
+		baseRep := arts[vipipe.NodeChipWidePower(pos.Name)].(*power.Report)
 		entry := wire.SweepEntry{
 			Position: pos.Name,
 			Scenario: k,
@@ -246,130 +269,13 @@ func (e *Engine) sweep(ctx context.Context, cfg vipipe.Config, hash string, stra
 	return out, nil
 }
 
-// baseline returns the immutable shared flow for a config: synthesized
-// netlist, placement, STA with recovered derates, and FIR switching
-// activity. Cached under "<hash>/baseline".
-func (e *Engine) baseline(ctx context.Context, cfg vipipe.Config, hash string) (*vipipe.Flow, error) {
-	v, err := e.cache.Do(ctx, hash+"/baseline", func() (any, int64, error) {
-		t0 := time.Now()
-		f := vipipe.New(cfg)
-		steps := []func(context.Context) error{
-			f.Synthesize, f.Place, f.Analyze, f.SimulateWorkload,
-		}
-		for _, step := range steps {
-			if err := step(ctx); err != nil {
-				return nil, 0, err
-			}
-		}
-		e.m.ObserveStep("baseline", time.Since(t0))
-		// Rough retained size: netlist graph + placement + timing
-		// engine scale with cells and nets.
-		size := int64(f.NL.NumCells())*400 + int64(f.NL.NumNets())*200
-		return f, size, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*vipipe.Flow), nil
-}
-
-// characterize returns the Monte Carlo SSTA at one position, cached
-// under "<hash>/mc/<pos>". The underlying sta.Analyzer is shared and
-// safe for concurrent re-timing (mc.Run itself fans out workers over
-// it).
-func (e *Engine) characterize(ctx context.Context, cfg vipipe.Config, hash string, pos variation.Pos) (*mc.Result, error) {
-	f, err := e.baseline(ctx, cfg, hash)
-	if err != nil {
-		return nil, err
-	}
-	v, err := e.cache.Do(ctx, hash+"/mc/"+pos.Name, func() (any, int64, error) {
-		t0 := time.Now()
-		res, err := mc.Run(ctx, f.STA, &cfg.Model, pos, mc.Options{
-			Samples:        cfg.MCSamples,
-			Seed:           cfg.Seed,
-			ClockPS:        f.ClockPS,
-			Derate:         f.Derate,
-			PanicTolerance: cfg.PanicTolerance,
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		e.m.ObserveStep("mc", time.Since(t0))
-		return res, int64(res.Samples)*int64(len(res.PerStage)+1)*16 + 4096, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*mc.Result), nil
-}
-
-// islands returns the voltage-island partition for a strategy, cached
-// under "<hash>/vi/<strategy>". The partition is generated but NOT
-// inserted: InsertShifters mutates the shared netlist and is the one
-// flow step the service never runs on a cached baseline.
-func (e *Engine) islands(ctx context.Context, cfg vipipe.Config, hash string, strat vi.Strategy) (*vi.Partition, error) {
-	f, err := e.baseline(ctx, cfg, hash)
-	if err != nil {
-		return nil, err
-	}
-	ladder, err := e.scenarios(ctx, cfg, hash)
-	if err != nil {
-		return nil, err
-	}
-	v, err := e.cache.Do(ctx, hash+"/vi/"+strat.String(), func() (any, int64, error) {
-		t0 := time.Now()
-		part, err := vi.Generate(ctx, f.STA, &cfg.Model, ladder, vi.Options{
-			Strategy: strat,
-			ClockPS:  f.ClockPS,
-			Derate:   f.Derate,
-			Samples:  cfg.VISamples,
-			Seed:     cfg.Seed,
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		e.m.ObserveStep("islands", time.Since(t0))
-		return part, int64(len(part.Region))*8 + 4096, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*vi.Partition), nil
-}
-
-// scenarios derives the scenario ladder from the cached per-position
-// characterizations.
-func (e *Engine) scenarios(ctx context.Context, cfg vipipe.Config, hash string) ([]variation.Pos, error) {
-	order := cfg.Model.DiagonalPositions()
-	results := make(map[string]*mc.Result, len(order))
-	for _, pos := range order {
-		res, err := e.characterize(ctx, cfg, hash, pos)
-		if err != nil {
-			return nil, err
-		}
-		results[pos.Name] = res
-	}
-	return vipipe.ScenarioLadder(order, results)
-}
-
 func parsePos(cfg vipipe.Config, name string) (variation.Pos, error) {
-	for _, p := range cfg.Model.DiagonalPositions() {
-		if p.Name == name {
-			return p, nil
-		}
+	if p, ok := cfg.Model.Position(name); ok {
+		return p, nil
 	}
 	return variation.Pos{}, flowerr.BadInputf("service: unknown chip position %q (model defines A-D)", name)
 }
 
 func parseStrategy(s string) (vi.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "vertical":
-		return vi.Vertical, nil
-	case "horizontal":
-		return vi.Horizontal, nil
-	case "corner":
-		return vi.Corner, nil
-	default:
-		return 0, flowerr.BadInputf("service: unknown slicing strategy %q (vertical, horizontal, corner)", s)
-	}
+	return vi.ParseStrategy(strings.ToLower(s))
 }

@@ -75,9 +75,9 @@ func (j *Job) Snapshot() JobSnapshot {
 }
 
 // Result returns the job's outcome once terminal: (result, nil) for a
-// done job, (nil, err) for a failed or cancelled one, and an error
-// matching flowerr.ErrStepOrder while the job is still queued or
-// running.
+// done job, (nil, err) for a failed or cancelled one, and a
+// result-not-ready step-order error (HTTP 409) while the job is still
+// queued or running.
 func (j *Job) Result() (any, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

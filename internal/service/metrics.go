@@ -18,9 +18,13 @@ import (
 //	jobs.queue_depth / workers_busy / workers
 //	cache.hits / misses / evictions / entries / size_bytes / cap_bytes / hit_rate
 //	latency_ms.<step>.{count,mean,p50,p90,p99,max,buckets}
+//	counters.<name>
 //
-// Steps are "baseline", "mc", "islands", "power", "drc" for the
-// engine stages and "job.<kind>" for whole-job latencies.
+// Steps are "artifact.<node>" for pipeline-graph computes (one
+// histogram per artifact: "artifact.synth", "artifact.mc/A",
+// "artifact.vi/vertical", "artifact.power/vertical/2/B", ...) and
+// "job.<kind>" for whole-job latencies. Counters carry per-artifact
+// store traffic as "artifact_hits.<node>".
 type Metrics struct {
 	start time.Time
 
@@ -31,13 +35,33 @@ type Metrics struct {
 	JobsRejected  atomic.Int64
 	WorkersBusy   atomic.Int64
 
-	mu    sync.Mutex
-	hists map[string]*Histogram
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	counters map[string]*atomic.Int64
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), hists: make(map[string]*Histogram)}
+	return &Metrics{
+		start:    time.Now(),
+		hists:    make(map[string]*Histogram),
+		counters: make(map[string]*atomic.Int64),
+	}
+}
+
+// Inc bumps a named monotonic counter, creating it on first use.
+func (m *Metrics) Inc(name string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c := m.counters[name]
+	if c == nil {
+		c = new(atomic.Int64)
+		m.counters[name] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
 }
 
 // ObserveStep records one latency sample for a named step.
@@ -167,10 +191,11 @@ func formatBound(ms float64) string {
 
 // Snapshot is the full /metrics payload.
 type Snapshot struct {
-	UptimeS float64                      `json:"uptime_s"`
-	Jobs    JobCounters                  `json:"jobs"`
-	Cache   CacheStatsView               `json:"cache"`
-	Latency map[string]HistogramSnapshot `json:"latency_ms"`
+	UptimeS  float64                      `json:"uptime_s"`
+	Jobs     JobCounters                  `json:"jobs"`
+	Cache    CacheStatsView               `json:"cache"`
+	Latency  map[string]HistogramSnapshot `json:"latency_ms"`
+	Counters map[string]int64             `json:"counters,omitempty"`
 }
 
 // JobCounters is the job-manager section of /metrics.
@@ -217,6 +242,12 @@ func (m *Metrics) Snapshot(cache *Cache, mgr *Manager) Snapshot {
 	m.mu.Lock()
 	for name, h := range m.hists {
 		s.Latency[name] = h.Snapshot()
+	}
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for name, c := range m.counters {
+			s.Counters[name] = c.Load()
+		}
 	}
 	m.mu.Unlock()
 	return s

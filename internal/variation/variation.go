@@ -152,6 +152,17 @@ func (m *Model) DiagonalPositions() []Pos {
 	}
 }
 
+// Position returns the diagonal position with the given name, and
+// whether the model defines it.
+func (m *Model) Position(name string) (Pos, bool) {
+	for _, p := range m.DiagonalPositions() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pos{}, false
+}
+
 // SampleChip draws one fabricated-chip instance: per-cell effective
 // gate lengths for a core placed with its lower-left corner at pos,
 // combining the systematic map at each cell's physical location with

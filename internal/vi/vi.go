@@ -56,6 +56,20 @@ func (s Strategy) String() string {
 	}
 }
 
+// ParseStrategy maps a strategy name (as produced by String) back to
+// the Strategy, for CLI flags and service requests.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "vertical":
+		return Vertical, nil
+	case "horizontal":
+		return Horizontal, nil
+	case "corner":
+		return Corner, nil
+	}
+	return 0, flowerr.BadInputf("vi: unknown strategy %q (vertical, horizontal, corner)", name)
+}
+
 // Side identifies where slice growth starts: a floorplan edge for the
 // Vertical/Horizontal strategies, a corner for Corner.
 type Side uint8

@@ -13,18 +13,22 @@
 // insertion (see DESIGN.md for the system inventory and EXPERIMENTS.md
 // for the reproduced tables and figures).
 //
-// The Flow type walks the methodology of the paper's Fig. 1. Every
-// step takes a context: long runs are cancellable and deadline-bounded
-// (errors match flowerr.ErrCancelled), steps run out of order fail
-// with flowerr.ErrStepOrder, and worker panics inside the Monte Carlo
-// engine degrade to skipped samples up to Config.PanicTolerance:
+// The methodology of the paper's Fig. 1 is an artifact graph (see
+// internal/pipeline and NewGraph): every step is a node keyed by the
+// configuration hash, and requesting an artifact computes its
+// dependency closure with independent nodes — the four chip-position
+// characterizations, the per-strategy island generations — scheduled
+// concurrently. The Flow type is the convenient facade over a private
+// graph: its step methods request the matching artifacts and mirror
+// them into exported fields, so prerequisites resolve automatically
+// instead of failing. Long runs stay cancellable and deadline-bounded
+// (errors match flowerr.ErrCancelled), and worker panics inside the
+// Monte Carlo engine degrade to skipped samples up to
+// Config.PanicTolerance:
 //
 //	ctx := context.Background()
 //	flow := vipipe.New(vipipe.DefaultConfig())
-//	flow.Synthesize(ctx)          // performance-optimized netlist
-//	flow.Place(ctx)               // coarse placement
-//	flow.Analyze(ctx)             // STA, clock selection, power recovery
-//	flow.Characterize(ctx)        // Monte Carlo SSTA at chip positions A-D
+//	flow.Run(ctx)                 // synthesize → place → analyze → characterize
 //	part, _ := flow.GenerateIslands(ctx, vi.Vertical)  // island generation
 //	flow.InsertShifters(ctx, part) // level shifters + incremental placement
 //	flow.SimulateWorkload(ctx)     // FIR benchmark switching activity
@@ -38,12 +42,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"vipipe/internal/cell"
 	"vipipe/internal/drc"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
+	"vipipe/internal/pipeline"
 	"vipipe/internal/place"
 	"vipipe/internal/power"
 	"vipipe/internal/razor"
@@ -109,7 +115,8 @@ func DefaultConfig() Config {
 // produce bit-identical netlists, placements and characterizations
 // (the flow is deterministic for a given Config, see DESIGN.md §6).
 // The hash covers every exported field via deterministic JSON
-// (encoding/json sorts map keys).
+// (encoding/json sorts map keys). It is the graph prefix of every
+// pipeline node key ("<hash>/<node>").
 func (c Config) Hash() string {
 	b, err := json.Marshal(c)
 	if err != nil {
@@ -133,7 +140,11 @@ func TestConfig() Config {
 	return cfg
 }
 
-// Flow carries the state of one end-to-end run.
+// Flow carries the state of one end-to-end run. It is a facade over a
+// private artifact graph (NewGraph over an unshared in-memory store):
+// each step method requests the matching graph artifact — computing
+// whatever prerequisites are still missing — and mirrors the results
+// into the exported fields below.
 type Flow struct {
 	Cfg Config
 	Lib *cell.Library
@@ -155,113 +166,110 @@ type Flow struct {
 
 	FIR      *vexsim.FIR
 	Activity []float64
+
+	graph *pipeline.Graph
+	// mutated flips when InsertShifters splices the netlist: the
+	// graph's stored artifacts no longer describe the design, so
+	// further graph requests are refused and the remaining steps work
+	// imperatively on the flow's own state.
+	mutated bool
 }
 
 // New prepares a flow; no work happens until the step methods run.
 func New(cfg Config) *Flow {
-	return &Flow{Cfg: cfg, Lib: cell.Default65nm()}
+	lib := cell.Default65nm()
+	return &Flow{
+		Cfg:   cfg,
+		Lib:   lib,
+		graph: newGraph(cfg, lib, pipeline.NewMemStore()),
+	}
 }
 
 // Position returns the named chip position of the variation model, or
 // an error matching flowerr.ErrBadInput for a name the model does not
 // define.
 func (f *Flow) Position(name string) (variation.Pos, error) {
-	for _, p := range f.Cfg.Model.DiagonalPositions() {
-		if p.Name == name {
-			return p, nil
-		}
+	if p, ok := f.Cfg.Model.Position(name); ok {
+		return p, nil
 	}
 	return variation.Pos{}, flowerr.BadInputf("vipipe: unknown chip position %q (model defines A-D)", name)
 }
 
-// Synthesize builds the performance-optimized gate-level core.
-func (f *Flow) Synthesize(ctx context.Context) error {
-	if err := ctxErr(ctx, "Synthesize"); err != nil {
-		return err
+// request resolves graph artifacts and mirrors them into the flow's
+// exported fields. Even on error the completed part of the closure is
+// adopted, so callers observe partial progress (e.g. the positions
+// characterized before a cancellation).
+func (f *Flow) request(ctx context.Context, ids ...string) (map[string]any, error) {
+	if f.mutated {
+		return nil, flowerr.StepOrderf(
+			"vipipe: netlist was mutated by InsertShifters, graph artifacts are stale — rebuild from New before %s",
+			strings.Join(ids, ","))
 	}
-	core, err := vex.Build(f.Cfg.Core, f.Lib)
-	if err != nil {
-		return err
-	}
-	f.Core = core
-	f.NL = core.NL
-	return nil
+	arts, err := f.graph.Request(ctx, ids...)
+	f.adopt(arts)
+	return arts, err
 }
 
-// Place runs global placement (the paper's physical-synthesis step).
+// adopt mirrors computed artifacts into the flow's exported fields.
+func (f *Flow) adopt(arts map[string]any) {
+	if v, ok := arts[NodeSynth]; ok {
+		syn := v.(*Synth)
+		f.Core, f.NL = syn.Core, syn.NL()
+	}
+	if v, ok := arts[NodePlace]; ok {
+		f.PL = v.(*place.Placement)
+	}
+	if v, ok := arts[NodeAnalyze]; ok {
+		tm := v.(*Timing)
+		f.STA, f.ClockPS, f.FmaxMHz, f.Derate = tm.STA, tm.ClockPS, tm.FmaxMHz, tm.Derate
+	}
+	if v, ok := arts[NodeWorkload]; ok {
+		w := v.(*Workload)
+		f.FIR, f.Activity = w.FIR, w.Activity
+	}
+	if v, ok := arts[NodeLadder]; ok {
+		f.ScenarioPositions = v.([]variation.Pos)
+	}
+	for id, v := range arts {
+		if name, ok := strings.CutPrefix(id, "mc/"); ok {
+			if f.MC == nil {
+				f.MC = make(map[string]*mc.Result)
+			}
+			f.MC[name] = v.(*mc.Result)
+		}
+	}
+}
+
+// Synthesize builds the performance-optimized gate-level core.
+func (f *Flow) Synthesize(ctx context.Context) error {
+	_, err := f.request(ctx, NodeSynth)
+	return err
+}
+
+// Place runs global placement (the paper's physical-synthesis step),
+// synthesizing first if needed.
 func (f *Flow) Place(ctx context.Context) error {
-	if f.NL == nil {
-		return flowerr.StepOrderf("vipipe: Place before Synthesize")
-	}
-	if err := ctxErr(ctx, "Place"); err != nil {
-		return err
-	}
-	pl, err := place.Global(f.NL, f.Cfg.Place)
-	if err != nil {
-		return err
-	}
-	f.PL = pl
-	return nil
+	_, err := f.request(ctx, NodePlace)
+	return err
 }
 
 // Analyze runs nominal STA, fixes the clock at the critical path plus
 // guard, and applies slack recovery so every stage sits near its wall
 // (the paper's performance-optimized starting point, Fig. 3 setup).
+// Prerequisite steps run automatically.
 func (f *Flow) Analyze(ctx context.Context) error {
-	if f.PL == nil {
-		return flowerr.StepOrderf("vipipe: Analyze before Place")
-	}
-	if err := ctxErr(ctx, "Analyze"); err != nil {
-		return err
-	}
-	a, err := sta.New(f.NL, f.PL)
-	if err != nil {
-		return err
-	}
-	f.STA = a
-	nominal := a.Run(1e12, nil)
-	f.ClockPS = nominal.CritPS * (1 + f.Cfg.ClockGuard)
-	f.FmaxMHz = sta.FmaxMHz(f.ClockPS)
-	f.Derate, err = a.SlackRecoveryCtx(ctx, f.ClockPS, f.Cfg.Recovery, f.Cfg.MaxDerate, 25)
-	if err != nil {
-		f.Derate = nil // half-relaxed wall would skew every later result
-		return err
-	}
-	return nil
+	_, err := f.request(ctx, NodeAnalyze)
+	return err
 }
 
 // Characterize runs the Monte Carlo SSTA at every diagonal position
-// and derives the scenario ladder (paper Sections 4.3-4.4). On
-// cancellation the positions characterized so far remain in f.MC, and
-// the error matches flowerr.ErrCancelled.
+// and derives the scenario ladder (paper Sections 4.3-4.4). The four
+// positions characterize concurrently; on cancellation the positions
+// that completed remain in f.MC, and the error matches
+// flowerr.ErrCancelled.
 func (f *Flow) Characterize(ctx context.Context) error {
-	if f.STA == nil {
-		return flowerr.StepOrderf("vipipe: Characterize before Analyze")
-	}
-	f.MC = make(map[string]*mc.Result)
-	for _, pos := range f.Cfg.Model.DiagonalPositions() {
-		res, err := mc.Run(ctx, f.STA, &f.Cfg.Model, pos, mc.Options{
-			Samples:        f.Cfg.MCSamples,
-			Seed:           f.Cfg.Seed,
-			ClockPS:        f.ClockPS,
-			Derate:         f.Derate,
-			PanicTolerance: f.Cfg.PanicTolerance,
-		})
-		if res != nil {
-			// On cancellation mc.Run still returns the samples it
-			// completed; keep them so the caller sees partial progress.
-			f.MC[pos.Name] = res
-		}
-		if err != nil {
-			return err
-		}
-	}
-	ladder, err := ScenarioLadder(f.Cfg.Model.DiagonalPositions(), f.MC)
-	if err != nil {
-		return err
-	}
-	f.ScenarioPositions = ladder
-	return nil
+	_, err := f.request(ctx, NodeLadder)
+	return err
 }
 
 // ScenarioLadder derives the scenario positions from per-position
@@ -269,8 +277,8 @@ func (f *Flow) Characterize(ctx context.Context) error {
 // chip position that will be treated with only k islands, i.e. the
 // last position (walking from worst A to best D in the given order)
 // whose classification is still at least k. With the canonical ladder
-// A=3, B=2, C=1, D=0 this selects C, B, A. It is shared by
-// Flow.Characterize and service frontends that assemble the ladder
+// A=3, B=2, C=1, D=0 this selects C, B, A. It is shared by the
+// graph's ladder node and service frontends that assemble the ladder
 // from cached characterizations.
 func ScenarioLadder(order []variation.Pos, results map[string]*mc.Result) ([]variation.Pos, error) {
 	type classified struct {
@@ -309,24 +317,20 @@ func ScenarioLadder(order []variation.Pos, results map[string]*mc.Result) ([]var
 func (f *Flow) SensorPlan() (*razor.Plan, error) {
 	resA, ok := f.MC["A"]
 	if !ok {
-		return nil, flowerr.StepOrderf("vipipe: SensorPlan before Characterize")
+		return nil, flowerr.StepOrderf("vipipe: SensorPlan needs the position-A characterization — run Characterize first")
 	}
 	return razor.NewPlan(f.NL, resA, f.Cfg.SensorBudget), nil
 }
 
 // GenerateIslands runs the paper's placement-aware slicing for the
-// characterized scenarios.
+// characterized scenarios. Prerequisite steps (through Characterize)
+// run automatically.
 func (f *Flow) GenerateIslands(ctx context.Context, strategy vi.Strategy) (*vi.Partition, error) {
-	if len(f.ScenarioPositions) == 0 {
-		return nil, flowerr.StepOrderf("vipipe: GenerateIslands before Characterize")
+	arts, err := f.request(ctx, NodeIslands(strategy))
+	if err != nil {
+		return nil, err
 	}
-	return vi.Generate(ctx, f.STA, &f.Cfg.Model, f.ScenarioPositions, vi.Options{
-		Strategy: strategy,
-		ClockPS:  f.ClockPS,
-		Derate:   f.Derate,
-		Samples:  f.Cfg.VISamples,
-		Seed:     f.Cfg.Seed,
-	})
+	return arts[NodeIslands(strategy)].(*vi.Partition), nil
 }
 
 // InsertShifters splices the partition's level shifters into the
@@ -336,17 +340,21 @@ func (f *Flow) GenerateIslands(ctx context.Context, strategy vi.Strategy) (*vi.P
 // horizontal).
 //
 // The step mutates netlist, placement, derate vector and timing engine
-// together. A failure after the netlist was already spliced cannot be
-// rolled back; it is reported as an error matching
+// together, so afterwards the flow's graph artifacts are stale: graph-
+// backed steps refuse to run and SimulateWorkload/Power work on the
+// mutated state directly. A failure after the netlist was already
+// spliced cannot be rolled back; it is reported as an error matching
 // flowerr.ErrPartialStep, and the flow must be rebuilt from a fresh
 // New before further steps — re-running analysis on the half-updated
 // state would silently mix stale and fresh timing.
 func (f *Flow) InsertShifters(ctx context.Context, p *vi.Partition) (count int, degradation float64, err error) {
-	if f.STA == nil {
-		return 0, 0, flowerr.StepOrderf("vipipe: InsertShifters before Analyze")
-	}
 	if p == nil {
 		return 0, 0, flowerr.BadInputf("vipipe: InsertShifters with nil partition")
+	}
+	if f.STA == nil {
+		if _, err := f.request(ctx, NodeAnalyze); err != nil {
+			return 0, 0, err
+		}
 	}
 	if err := ctxErr(ctx, "InsertShifters"); err != nil {
 		return 0, 0, err
@@ -358,9 +366,15 @@ func (f *Flow) InsertShifters(ctx context.Context, p *vi.Partition) (count int, 
 		// the flow state is untouched.
 		return 0, 0, err
 	}
-	for len(f.Derate) < f.NL.NumCells() {
-		f.Derate = append(f.Derate, 1)
+	f.mutated = true
+	// Clone before extending: the derate vector backs the graph's
+	// timing artifact and must not grow in place.
+	derate := make([]float64, f.NL.NumCells())
+	for i := range derate {
+		derate[i] = 1
 	}
+	copy(derate, f.Derate)
+	f.Derate = derate
 	if err := f.STA.Refresh(); err != nil {
 		return count, 0, flowerr.PartialStepf(
 			"vipipe: %d level shifters spliced but timing refresh failed, flow state is inconsistent — rebuild from New: %w",
@@ -373,40 +387,27 @@ func (f *Flow) InsertShifters(ctx context.Context, p *vi.Partition) (count int, 
 // SimulateWorkload co-simulates the FIR benchmark on the gate-level
 // netlist against behavioral memories and records switching activity.
 // Run it after any netlist mutation (level shifters, Razor flops) so
-// the activity covers the final design.
+// the activity covers the final design: on a pristine flow it is the
+// cached workload artifact, on a mutated flow it re-simulates the
+// spliced netlist.
 func (f *Flow) SimulateWorkload(ctx context.Context) error {
-	if f.Core == nil {
-		return flowerr.StepOrderf("vipipe: SimulateWorkload before Synthesize")
+	if f.mutated {
+		w, err := simulateWorkload(ctx, f.Cfg, f.Core)
+		if err != nil {
+			return err
+		}
+		f.FIR, f.Activity = w.FIR, w.Activity
+		return nil
 	}
-	fir, err := vexsim.NewFIR(f.Cfg.Core, f.Cfg.FIRSamples, f.Cfg.FIRTaps, f.Cfg.Seed)
-	if err != nil {
-		return err
-	}
-	tb, err := vexsim.NewTestbench(f.Core, fir.Prog, fir.DMem)
-	if err != nil {
-		return err
-	}
-	if err := tb.RunContext(ctx, fir.Cycles); err != nil {
-		return err
-	}
-	if idx := fir.CheckResults(tb.DMem); idx >= 0 {
-		return fmt.Errorf("vipipe: FIR output wrong at %d — netlist broken", idx)
-	}
-	f.FIR = fir
-	f.Activity = tb.Activity()
-	return nil
+	_, err := f.request(ctx, NodeWorkload)
+	return err
 }
 
 // SystematicLgate returns per-cell gate lengths at a chip position
 // with the random component suppressed: the "mean chip" used for
 // scenario power reporting.
 func (f *Flow) SystematicLgate(pos variation.Pos) []float64 {
-	lg := make([]float64, f.NL.NumCells())
-	for i := range lg {
-		cx, cy := f.PL.Center(i)
-		lg[i] = f.Cfg.Model.SystematicLgateNM(pos.XMM+cx/1000, pos.YMM+cy/1000)
-	}
-	return lg
+	return systematicLgate(f.Cfg.Model, f.NL, f.PL, pos)
 }
 
 // Power runs the power analysis under an explicit domain assignment
@@ -414,7 +415,7 @@ func (f *Flow) SystematicLgate(pos variation.Pos) []float64 {
 // gate length).
 func (f *Flow) Power(domains []cell.Domain, pos variation.Pos) (*power.Report, error) {
 	if f.Activity == nil {
-		return nil, flowerr.StepOrderf("vipipe: Power before SimulateWorkload")
+		return nil, flowerr.StepOrderf("vipipe: Power needs switching activity — run SimulateWorkload first (and re-run it after InsertShifters)")
 	}
 	return power.Analyze(power.Inputs{
 		NL:       f.NL,
@@ -442,6 +443,9 @@ func (f *Flow) ScenarioPower(p *vi.Partition, scenario int, pos variation.Pos) (
 // shifter-bearing netlist measures the VI layout run chip-wide, a
 // conservative variant.
 func (f *Flow) ChipWidePower(pos variation.Pos) (*power.Report, error) {
+	if f.NL == nil {
+		return nil, flowerr.StepOrderf("vipipe: ChipWidePower needs a netlist — run Synthesize first")
+	}
 	domains := make([]cell.Domain, f.NL.NumCells())
 	for i := range domains {
 		domains[i] = cell.DomainHigh
@@ -468,7 +472,7 @@ func (f *Flow) Check(part *vi.Partition) error {
 // list instead of flattening it into an error string.
 func (f *Flow) CheckReport(part *vi.Partition) (*drc.Report, error) {
 	if f.NL == nil {
-		return nil, flowerr.StepOrderf("vipipe: Check before Synthesize")
+		return nil, flowerr.StepOrderf("vipipe: Check needs a netlist — run Synthesize first")
 	}
 	in := drc.Inputs{NL: f.NL, PL: f.PL, Derate: f.Derate}
 	if part != nil {
@@ -478,15 +482,11 @@ func (f *Flow) CheckReport(part *vi.Partition) (*drc.Report, error) {
 	return drc.Check(in), nil
 }
 
-// Run executes the standard sequence through Characterize.
+// Run executes the standard sequence through Characterize: one graph
+// request for the scenario ladder computes synthesis, placement,
+// analysis and the four concurrent characterizations.
 func (f *Flow) Run(ctx context.Context) error {
-	steps := []func(context.Context) error{f.Synthesize, f.Place, f.Analyze, f.Characterize}
-	for _, step := range steps {
-		if err := step(ctx); err != nil {
-			return err
-		}
-	}
-	return nil
+	return f.Characterize(ctx)
 }
 
 // ctxErr reports a context already expired before a step started.

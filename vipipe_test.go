@@ -3,41 +3,72 @@ package vipipe
 import (
 	"context"
 	"errors"
-	"sync"
+	"strings"
 	"testing"
 	"time"
 
 	"vipipe/internal/cell"
 	"vipipe/internal/flowerr"
+	"vipipe/internal/pipeline"
+	"vipipe/internal/variation"
 	"vipipe/internal/vi"
 )
 
-// TestFlowStepOrderEnforced exercises every "X before Y" guard; each
-// must reject with an error matching flowerr.ErrStepOrder.
-func TestFlowStepOrderEnforced(t *testing.T) {
+// TestFlowAutoResolvesPrerequisites: with the artifact graph under
+// the facade, calling a step on a fresh flow computes its whole
+// dependency closure instead of failing with a step-order error.
+func TestFlowAutoResolvesPrerequisites(t *testing.T) {
 	ctx := context.Background()
 	f := New(TestConfig())
-	order := []struct {
+	// Place on a fresh flow synthesizes implicitly.
+	if err := f.Place(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if f.NL == nil || f.PL == nil {
+		t.Fatal("Place did not materialize the synthesis closure")
+	}
+	// GenerateIslands pulls analysis and the full characterization.
+	part, err := f.GenerateIslands(ctx, vi.Horizontal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part == nil || part.NumIslands() == 0 {
+		t.Fatal("no islands generated")
+	}
+	if len(f.MC) != 4 || len(f.ScenarioPositions) == 0 || f.STA == nil {
+		t.Errorf("closure not mirrored: %d characterizations, %d scenarios",
+			len(f.MC), len(f.ScenarioPositions))
+	}
+}
+
+// TestFlowGuardsNamePrerequisite: the step-order guards that remain
+// (no-context accessors that cannot trigger graph work) must name the
+// required prior step in their error text.
+func TestFlowGuardsNamePrerequisite(t *testing.T) {
+	f := New(TestConfig())
+	guards := []struct {
 		name string
+		want string // prerequisite named in the error
 		call func() error
 	}{
-		{"Place before Synthesize", func() error { return f.Place(ctx) }},
-		{"Analyze before Place", func() error { return f.Analyze(ctx) }},
-		{"Characterize before Analyze", func() error { return f.Characterize(ctx) }},
-		{"SensorPlan before Characterize", func() error { _, err := f.SensorPlan(); return err }},
-		{"GenerateIslands before Characterize", func() error { _, err := f.GenerateIslands(ctx, vi.Vertical); return err }},
-		{"InsertShifters before Analyze", func() error { _, _, err := f.InsertShifters(ctx, &vi.Partition{}); return err }},
-		{"SimulateWorkload before Synthesize", func() error { return f.SimulateWorkload(ctx) }},
-		{"Check before Synthesize", func() error { return f.Check(nil) }},
+		{"SensorPlan", "Characterize", func() error { _, err := f.SensorPlan(); return err }},
+		{"Check", "Synthesize", func() error { return f.Check(nil) }},
+		{"ChipWidePower", "Synthesize", func() error {
+			_, err := f.ChipWidePower(variation.Pos{Name: "A"})
+			return err
+		}},
 	}
-	for _, step := range order {
-		err := step.call()
+	for _, g := range guards {
+		err := g.call()
 		if err == nil {
-			t.Errorf("%s accepted", step.name)
+			t.Errorf("%s on empty flow accepted", g.name)
 			continue
 		}
 		if !errors.Is(err, flowerr.ErrStepOrder) {
-			t.Errorf("%s: error %v does not match ErrStepOrder", step.name, err)
+			t.Errorf("%s: error %v does not match ErrStepOrder", g.name, err)
+		}
+		if !strings.Contains(err.Error(), g.want) {
+			t.Errorf("%s: error %q does not name prerequisite %q", g.name, err, g.want)
 		}
 	}
 }
@@ -75,66 +106,78 @@ func TestFlowPreCancelled(t *testing.T) {
 	}
 }
 
-// countingCtx is a context whose Err() flips to Canceled after a fixed
-// number of polls: a deterministic way to cancel mid-Characterize
-// without racing a timer against the Monte Carlo workers.
-type countingCtx struct {
-	mu    sync.Mutex
-	calls int
-	limit int
-	done  chan struct{}
-	err   error
-}
-
-func newCountingCtx(limit int) *countingCtx {
-	return &countingCtx{limit: limit, done: make(chan struct{})}
-}
-
-func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
-func (c *countingCtx) Done() <-chan struct{}       { return c.done }
-func (c *countingCtx) Value(any) any               { return nil }
-func (c *countingCtx) Err() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.calls++
-	if c.err == nil && c.calls >= c.limit {
-		c.err = context.Canceled
-		close(c.done)
-	}
-	return c.err
-}
-
-// TestCharacterizeCancelledMidRun cancels during the first position's
-// Monte Carlo run and checks both the error class and the
-// partial-progress contract: whatever samples completed are kept.
+// TestCharacterizeCancelledMidRun cancels after the first position's
+// Monte Carlo run commits and checks both the error class and the
+// partial-progress contract: positions characterized before the
+// cancellation stay in f.MC. The graph is rebuilt with one worker so
+// the cancellation point is deterministic.
 func TestCharacterizeCancelledMidRun(t *testing.T) {
 	f := New(TestConfig())
-	ctx := context.Background()
-	for _, step := range []func(context.Context) error{f.Synthesize, f.Place, f.Analyze} {
-		if err := step(ctx); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// The limit is reached inside the first mc.Run: validation passes
-	// first, then the dispatch loop and every worker poll Err() at
-	// least once per sample.
-	cctx := newCountingCtx(40)
-	err := f.Characterize(cctx)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.graph = newGraph(f.Cfg, f.Lib, pipeline.NewMemStore(),
+		pipeline.WithWorkers(1),
+		pipeline.WithHooks(pipeline.Hooks{
+			OnCompute: func(id string, _ time.Duration) {
+				if strings.HasPrefix(id, "mc/") {
+					cancel() // first characterization done: stop the rest
+				}
+			},
+		}))
+	err := f.Characterize(ctx)
 	if err == nil {
 		t.Fatal("cancelled Characterize succeeded")
 	}
 	if !errors.Is(err, flowerr.ErrCancelled) {
 		t.Fatalf("error %v does not match ErrCancelled", err)
 	}
-	total := 0
-	for _, res := range f.MC {
-		if res.Samples > res.Requested {
-			t.Errorf("position result claims %d of %d samples", res.Samples, res.Requested)
-		}
-		total += res.Samples
+	if len(f.MC) == 0 || len(f.MC) >= 4 {
+		t.Errorf("partial progress: %d characterizations adopted, want 1..3", len(f.MC))
 	}
-	if want := 4 * f.Cfg.MCSamples; total >= want {
-		t.Errorf("%d samples completed despite cancellation (full run is %d)", total, want)
+	for name, res := range f.MC {
+		if res.Samples != res.Requested {
+			t.Errorf("committed position %s: %d of %d samples", name, res.Samples, res.Requested)
+		}
+	}
+	if len(f.ScenarioPositions) != 0 {
+		t.Error("scenario ladder derived despite cancellation")
+	}
+}
+
+// TestFlowRefusesGraphAfterMutation: InsertShifters invalidates the
+// graph's artifacts, so later graph-backed steps must fail with a
+// step-order error pointing at the rebuild.
+func TestFlowRefusesGraphAfterMutation(t *testing.T) {
+	ctx := context.Background()
+	f := New(TestConfig())
+	part, err := f.GenerateIslands(ctx, vi.Vertical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.InsertShifters(ctx, part); err != nil {
+		t.Fatal(err)
+	}
+	err = f.Characterize(ctx)
+	if !errors.Is(err, flowerr.ErrStepOrder) {
+		t.Fatalf("Characterize after mutation: %v, want ErrStepOrder", err)
+	}
+	if !strings.Contains(err.Error(), "New") {
+		t.Errorf("error %q does not point at rebuilding from New", err)
+	}
+	// The imperative post-mutation path still works end to end.
+	if err := f.SimulateWorkload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := f.Position("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.ScenarioPower(part, 1, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMW() <= 0 {
+		t.Error("no power reported on the mutated design")
 	}
 }
 
