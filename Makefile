@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race fault fuzz service-it ci clean
+.PHONY: all build fmt vet lint test race fault fuzz service-it ci clean
 
 all: build
 
@@ -18,6 +18,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/vipilint): determinism of the
+# compute packages, the flowerr taxonomy at API boundaries, context
+# plumbing and goroutine hygiene. -strict also rejects stale
+# //lint:ignore directives.
+lint:
+	$(GO) run ./cmd/vipilint -strict .
 
 test:
 	$(GO) test ./...
@@ -47,7 +54,7 @@ fuzz:
 service-it:
 	$(GO) test -race -count=1 ./internal/service/... ./cmd/vipiped
 
-ci: fmt vet build race test fault service-it
+ci: fmt vet lint build race test fault service-it
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vipipe/internal/flowerr"
+	"vipipe/internal/lint"
+)
+
+// buildLint compiles the real binary once per test binary; exit codes
+// can only be asserted against an exec'd process (`go run` collapses
+// them to 1).
+func buildLint(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and runs the vipilint binary")
+	}
+	bin := filepath.Join(t.TempDir(), "vipilint")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running vipilint: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+const dirtyFile = `package mc
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+`
+
+// TestExitCodes drives the binary end to end through its three exit
+// classes: clean tree, findings, and a driver failure.
+func TestExitCodes(t *testing.T) {
+	bin := buildLint(t)
+
+	dirty := writeTree(t, map[string]string{"internal/mc/bad.go": dirtyFile})
+	out, err := exec.Command(bin, dirty).CombinedOutput()
+	if code := exitCode(t, err); code != flowerr.ExitDRC {
+		t.Errorf("dirty tree: exit %d, want %d (ExitDRC)\n%s", code, flowerr.ExitDRC, out)
+	}
+	if !strings.Contains(string(out), "determinism") || !strings.Contains(string(out), "bad.go:6:") {
+		t.Errorf("dirty tree output missing the finding:\n%s", out)
+	}
+
+	clean := writeTree(t, map[string]string{"internal/mc/ok.go": "package mc\n"})
+	out, err = exec.Command(bin, clean).CombinedOutput()
+	if code := exitCode(t, err); code != flowerr.ExitOK {
+		t.Errorf("clean tree: exit %d, want 0\n%s", code, out)
+	}
+
+	out, err = exec.Command(bin, filepath.Join(clean, "no-such-dir")).CombinedOutput()
+	if code := exitCode(t, err); code != flowerr.ExitBadInput {
+		t.Errorf("missing root: exit %d, want %d (ExitBadInput)\n%s", code, flowerr.ExitBadInput, out)
+	}
+}
+
+// TestJSONOutput checks that -json emits a machine-readable array in
+// both the findings and the empty case.
+func TestJSONOutput(t *testing.T) {
+	bin := buildLint(t)
+
+	dirty := writeTree(t, map[string]string{"internal/mc/bad.go": dirtyFile})
+	out, err := exec.Command(bin, "-json", dirty).Output()
+	if code := exitCode(t, err); code != flowerr.ExitDRC {
+		t.Fatalf("dirty tree: exit %d, want %d", code, flowerr.ExitDRC)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Rule != "determinism" || diags[0].File != "internal/mc/bad.go" {
+		t.Errorf("unexpected diagnostics: %+v", diags)
+	}
+
+	clean := writeTree(t, map[string]string{"internal/mc/ok.go": "package mc\n"})
+	out, err = exec.Command(bin, "-json", clean).Output()
+	if code := exitCode(t, err); code != 0 {
+		t.Fatalf("clean tree: exit %d, want 0", code)
+	}
+	if err := json.Unmarshal(out, &diags); err != nil || len(diags) != 0 {
+		t.Errorf("clean -json output should be an empty array: %v\n%s", err, out)
+	}
+}

@@ -59,6 +59,7 @@ func main() {
 		ln.Addr(), *workers, *queueCap, *cacheMB)
 
 	serveErr := make(chan error, 1)
+	//lint:ignore goroutine the daemon's single serve goroutine; srv.Shutdown joins it on drain
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {

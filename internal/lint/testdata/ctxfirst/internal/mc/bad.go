@@ -1,0 +1,32 @@
+// Package mc is a lint fixture: context-convention violations in a
+// sample-loop engine package.
+package mc
+
+import "context"
+
+// Run takes its context in the wrong position.
+func Run(samples int, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Drain accepts a context it never consults.
+func Drain(ctx context.Context, n int) error {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = total
+	return nil
+}
+
+// Walk consults ctx once up front but loops without polling it, so a
+// long run cannot be cancelled.
+func Walk(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package mc
+
+import "context"
+
+// Poll checks cancellation from inside the sample loop.
+func Poll(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workers polls inside the worker closure, the pool idiom.
+func Workers(ctx context.Context, n int) error {
+	run := func() error {
+		return ctx.Err()
+	}
+	for i := 0; i < n; i++ {
+		if err := run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Command tool sits outside the compute scope: wall-clock reads are
+// fine here and must not be reported.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}

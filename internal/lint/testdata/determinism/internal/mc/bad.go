@@ -1,0 +1,20 @@
+// Package mc is a lint fixture: clock, environment and global-rand
+// reads inside the compute scope.
+package mc
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Sample mixes every forbidden source of nondeterminism.
+func Sample() float64 {
+	t0 := time.Now()
+	if os.Getenv("VIPIPE_FAST") != "" {
+		return 0
+	}
+	v := rand.Float64()
+	_ = time.Since(t0)
+	return v
+}

@@ -1,0 +1,10 @@
+package mc
+
+import "math/rand"
+
+// Seeded derives a stream the sanctioned way: an explicit source, so
+// constructors stay legal where the global functions are not.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,19 @@
+// Package power is a lint fixture: exported APIs returning errors no
+// caller can classify.
+package power
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Analyze returns naked errors: callers cannot branch on the class.
+func Analyze(n int) error {
+	if n < 0 {
+		return errors.New("power: negative unit count")
+	}
+	if n == 0 {
+		return fmt.Errorf("power: zero units")
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package pipeline is a sanctioned scheduler: it may start workers.
+package pipeline
+
+// Pool fans out inside the scheduler scope; no finding.
+func Pool(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}

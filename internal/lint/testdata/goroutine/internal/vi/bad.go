@@ -1,0 +1,10 @@
+// Package vi is a lint fixture: a goroutine outside the sanctioned
+// scheduler packages.
+package vi
+
+// Fan escapes every pool: no draining, no panic recovery.
+func Fan(work []int) {
+	for range work {
+		go func() {}()
+	}
+}

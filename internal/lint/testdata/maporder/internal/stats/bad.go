@@ -1,0 +1,23 @@
+// Package stats is a lint fixture: order-sensitive writes under map
+// iteration.
+package stats
+
+import "strings"
+
+// Keys collects map keys in iteration order: unstable.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Render writes map entries in iteration order: unstable.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}

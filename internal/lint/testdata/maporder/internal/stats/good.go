@@ -1,0 +1,27 @@
+package stats
+
+import "sort"
+
+// SortedKeys collects then sorts: the append order never escapes.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Totals accumulates into per-key state derived from the entry
+// itself, which is order-independent.
+func Totals(m map[string][]int) map[string]int {
+	sums := make(map[string]int, len(m))
+	for k, vs := range m {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		sums[k] = s
+	}
+	return sums
+}

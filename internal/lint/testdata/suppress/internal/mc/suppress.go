@@ -1,0 +1,26 @@
+// Package mc is a lint fixture for //lint:ignore handling: a live
+// suppression, two malformed directives, and a stale one.
+package mc
+
+import "time"
+
+// Stamp is wall-clock telemetry, legitimately suppressed.
+func Stamp() int64 {
+	t := time.Now() //lint:ignore determinism fixture: telemetry, not artifact state
+	return t.Unix()
+}
+
+// Bogus carries directives the linter must reject — and because they
+// are rejected, the finding underneath still surfaces.
+func Bogus() int64 {
+	//lint:ignore nosuchrule this rule does not exist
+	//lint:ignore determinism
+	t := time.Now()
+	return t.Unix()
+}
+
+// Clean carries a directive with nothing left to suppress.
+func Clean() int {
+	//lint:ignore determinism stale: nothing below trips the rule
+	return 1
+}

@@ -69,6 +69,9 @@ type Graph struct {
 	hooks   Hooks
 	workers int
 	nodes   map[string]*Node
+
+	validateOnce sync.Once
+	validateErr  error
 }
 
 // Option configures a Graph.
@@ -166,6 +169,9 @@ func (g *Graph) RequestOne(ctx context.Context, id string) (any, error) {
 // node of the closure that completed — on error it carries the
 // partial results, so callers can report partial progress.
 func (g *Graph) Request(ctx context.Context, ids ...string) (map[string]any, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
 	need := make(map[string]bool)
 	var collect func(id string) error
 	collect = func(id string) error {
@@ -289,12 +295,13 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 	computed := false
 	v, err := g.store.Do(ctx, g.Key(id), func() (any, int64, error) {
 		computed = true
-		t0 := time.Now()
+		t0 := time.Now() //lint:ignore determinism latency observation for hooks, not artifact state
 		v, err := n.Compute(nodeCtx, deps)
 		if err != nil {
 			return nil, 0, err
 		}
 		if g.hooks.OnCompute != nil {
+			//lint:ignore determinism latency observation for hooks, not artifact state
 			g.hooks.OnCompute(id, time.Since(t0))
 		}
 		size := int64(1024)

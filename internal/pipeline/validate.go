@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"strings"
+
+	"vipipe/internal/flowerr"
+)
+
+// Validate statically checks the structural invariants of the graph:
+// node keys are non-empty and match their registration, computes are
+// present, every edge points at a defined node, and the dependency
+// relation is acyclic. Add enforces all of this during normal
+// construction; Validate is the defense for graphs assembled any
+// other way (deserialized shapes, test doubles, future builders) and
+// runs once per graph at the scheduler entry point. Errors match
+// flowerr.ErrBadInput.
+func (g *Graph) Validate() error {
+	for _, id := range g.Nodes() { // lexical order: deterministic reporting
+		n := g.nodes[id]
+		if id == "" {
+			return flowerr.BadInputf("pipeline: graph %q has a node with an empty key", g.prefix)
+		}
+		if n == nil {
+			return flowerr.BadInputf("pipeline: node %q is nil", id)
+		}
+		if n.ID != id {
+			return flowerr.BadInputf("pipeline: node registered under key %q declares ID %q — duplicate or aliased registration", id, n.ID)
+		}
+		if n.Compute == nil {
+			return flowerr.BadInputf("pipeline: node %q has no compute", id)
+		}
+		for _, d := range n.Deps {
+			if _, ok := g.nodes[d]; !ok {
+				return flowerr.BadInputf("pipeline: node %q depends on undefined node %q", id, d)
+			}
+		}
+	}
+	return g.checkAcyclic()
+}
+
+// checkAcyclic runs a colored DFS over the dependency edges and
+// reports the first cycle found, spelled out node by node.
+func (g *Graph) checkAcyclic() error {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[string]int, len(g.nodes))
+	var path []string
+	var visit func(id string) error
+	visit = func(id string) error {
+		switch color[id] {
+		case black:
+			return nil
+		case gray:
+			// Close the loop for the message: a -> b -> a.
+			i := 0
+			for ; i < len(path) && path[i] != id; i++ {
+			}
+			cycle := append(append([]string{}, path[i:]...), id)
+			return flowerr.BadInputf("pipeline: dependency cycle: %s", strings.Join(cycle, " -> "))
+		}
+		color[id] = gray
+		path = append(path, id)
+		for _, d := range g.nodes[id].Deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		path = path[:len(path)-1]
+		color[id] = black
+		return nil
+	}
+	for _, id := range g.Nodes() {
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate memoizes Validate for the scheduler: the graph is immutable
+// after construction, so the answer cannot change between requests.
+func (g *Graph) validate() error {
+	g.validateOnce.Do(func() { g.validateErr = g.Validate() })
+	return g.validateErr
+}

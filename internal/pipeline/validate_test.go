@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"vipipe/internal/flowerr"
+)
+
+func noopCompute(ctx context.Context, deps map[string]any) (any, error) { return nil, nil }
+
+// validGraph builds a small well-formed diamond: a <- b, a <- c, {b,c} <- d.
+func validGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New("test", NewMemStore())
+	g.MustAdd(Node{ID: "a", Compute: noopCompute})
+	g.MustAdd(Node{ID: "b", Deps: []string{"a"}, Compute: noopCompute})
+	g.MustAdd(Node{ID: "c", Deps: []string{"a"}, Compute: noopCompute})
+	g.MustAdd(Node{ID: "d", Deps: []string{"b", "c"}, Compute: noopCompute})
+	return g
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validGraph(t).Validate(); err != nil {
+		t.Fatalf("Validate() on a well-formed graph: %v", err)
+	}
+}
+
+// Each corruption below is unreachable through Add, so the tests reach
+// into g.nodes directly — exactly the class of graph Validate guards
+// against.
+
+func wantBadInput(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("Validate() = nil, want error containing %q", frag)
+	}
+	if !errors.Is(err, flowerr.ErrBadInput) {
+		t.Errorf("Validate() error %v does not match flowerr.ErrBadInput", err)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Errorf("Validate() = %q, want substring %q", err, frag)
+	}
+}
+
+func TestValidateEmptyKey(t *testing.T) {
+	g := validGraph(t)
+	g.nodes[""] = &Node{ID: "", Compute: noopCompute}
+	wantBadInput(t, g.Validate(), "empty key")
+}
+
+func TestValidateNilNode(t *testing.T) {
+	g := validGraph(t)
+	g.nodes["z"] = nil
+	wantBadInput(t, g.Validate(), `node "z" is nil`)
+}
+
+func TestValidateKeyIDMismatch(t *testing.T) {
+	g := validGraph(t)
+	// Same node registered under a second key: a duplicate in disguise.
+	g.nodes["alias"] = g.nodes["a"]
+	wantBadInput(t, g.Validate(), "duplicate or aliased")
+}
+
+func TestValidateNilCompute(t *testing.T) {
+	g := validGraph(t)
+	g.nodes["z"] = &Node{ID: "z"}
+	wantBadInput(t, g.Validate(), `node "z" has no compute`)
+}
+
+func TestValidateUndefinedDep(t *testing.T) {
+	g := validGraph(t)
+	g.nodes["d"].Deps = append(g.nodes["d"].Deps, "ghost")
+	wantBadInput(t, g.Validate(), `depends on undefined node "ghost"`)
+}
+
+func TestValidateCycle(t *testing.T) {
+	g := validGraph(t)
+	g.nodes["a"].Deps = []string{"d"} // a -> d -> b -> a
+	err := g.Validate()
+	wantBadInput(t, err, "dependency cycle")
+	// The message spells out a closed path.
+	msg := err.Error()
+	if !strings.Contains(msg, " -> ") {
+		t.Errorf("cycle error %q does not spell out the path", msg)
+	}
+}
+
+func TestValidateSelfCycle(t *testing.T) {
+	g := validGraph(t)
+	g.nodes["a"].Deps = []string{"a"}
+	wantBadInput(t, g.Validate(), "dependency cycle: a -> a")
+}
+
+func TestRequestSurfacesValidateError(t *testing.T) {
+	g := validGraph(t)
+	g.nodes["d"].Deps = append(g.nodes["d"].Deps, "ghost")
+	if _, err := g.Request(context.Background(), "d"); !errors.Is(err, flowerr.ErrBadInput) {
+		t.Fatalf("Request on invalid graph = %v, want flowerr.ErrBadInput", err)
+	}
+	// The result is memoized: a second request fails identically
+	// without re-walking the graph.
+	_, err1 := g.Request(context.Background(), "d")
+	_, err2 := g.Request(context.Background(), "d")
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("memoized validation: got %v then %v, want the same error", err1, err2)
+	}
+}

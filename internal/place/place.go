@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/stats"
 )
@@ -56,7 +57,7 @@ func Global(nl *netlist.Netlist, opts Options) (*Placement, error) {
 		return nil, err
 	}
 	if opts.FMPasses < 0 || opts.MinRegion < 1 {
-		return nil, fmt.Errorf("place: bad options %+v", opts)
+		return nil, flowerr.BadInputf("place: bad options %+v", opts)
 	}
 	g := &placer{p: p, opts: opts, rng: stats.DeriveStream(opts.Seed, "place")}
 	all := make([]int, nl.NumCells())
@@ -85,10 +86,10 @@ func Random(nl *netlist.Netlist, util float64, seed int64) (*Placement, error) {
 
 func newPlacement(nl *netlist.Netlist, util float64) (*Placement, error) {
 	if nl.NumCells() == 0 {
-		return nil, fmt.Errorf("place: empty netlist")
+		return nil, flowerr.BadInputf("place: empty netlist")
 	}
 	if util <= 0.05 || util > 1 {
-		return nil, fmt.Errorf("place: utilization %g out of (0.05, 1]", util)
+		return nil, flowerr.BadInputf("place: utilization %g out of (0.05, 1]", util)
 	}
 	tech := nl.Lib.Tech
 	total := 0.0
@@ -223,23 +224,23 @@ func (p *Placement) InsertAt(id int, x, y float64) {
 // Validate checks that every cell lies inside the die on a row.
 func (p *Placement) Validate() error {
 	if len(p.X) != p.NL.NumCells() {
-		return fmt.Errorf("place: %d coordinates for %d cells", len(p.X), p.NL.NumCells())
+		return flowerr.BadInputf("place: %d coordinates for %d cells", len(p.X), p.NL.NumCells())
 	}
 	for i := range p.X {
 		// NaN fails every ordered comparison below, so reject
 		// non-finite coordinates explicitly.
 		if math.IsNaN(p.X[i]) || math.IsNaN(p.Y[i]) || math.IsInf(p.X[i], 0) || math.IsInf(p.Y[i], 0) {
-			return fmt.Errorf("place: cell %d at non-finite (%g, %g)", i, p.X[i], p.Y[i])
+			return flowerr.BadInputf("place: cell %d at non-finite (%g, %g)", i, p.X[i], p.Y[i])
 		}
 		if p.X[i] < -1e-6 || p.X[i]+p.W[i] > p.DieW+1e-3 {
-			return fmt.Errorf("place: cell %d x=%g w=%g outside die width %g", i, p.X[i], p.W[i], p.DieW)
+			return flowerr.BadInputf("place: cell %d x=%g w=%g outside die width %g", i, p.X[i], p.W[i], p.DieW)
 		}
 		if p.Y[i] < -1e-6 || p.Y[i] > p.DieH-p.RowHeight+1e-3 {
-			return fmt.Errorf("place: cell %d y=%g outside die height %g", i, p.Y[i], p.DieH)
+			return flowerr.BadInputf("place: cell %d y=%g outside die height %g", i, p.Y[i], p.DieH)
 		}
 		r := p.Y[i] / p.RowHeight
 		if math.Abs(r-math.Round(r)) > 1e-6 {
-			return fmt.Errorf("place: cell %d not row-aligned (y=%g)", i, p.Y[i])
+			return flowerr.BadInputf("place: cell %d not row-aligned (y=%g)", i, p.Y[i])
 		}
 	}
 	return nil

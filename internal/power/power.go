@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"vipipe/internal/cell"
+	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
 	"vipipe/internal/place"
 )
@@ -84,19 +85,19 @@ func (r *Report) ShifterFrac() float64 {
 func Analyze(in Inputs) (*Report, error) {
 	nl := in.NL
 	if nl == nil {
-		return nil, fmt.Errorf("power: nil netlist")
+		return nil, flowerr.BadInputf("power: nil netlist")
 	}
 	if len(in.Activity) != nl.NumNets() {
-		return nil, fmt.Errorf("power: activity for %d nets, want %d", len(in.Activity), nl.NumNets())
+		return nil, flowerr.BadInputf("power: activity for %d nets, want %d", len(in.Activity), nl.NumNets())
 	}
 	if in.FreqMHz <= 0 {
-		return nil, fmt.Errorf("power: frequency %g must be positive", in.FreqMHz)
+		return nil, flowerr.BadInputf("power: frequency %g must be positive", in.FreqMHz)
 	}
 	if in.Domains != nil && len(in.Domains) != nl.NumCells() {
-		return nil, fmt.Errorf("power: domains for %d cells, want %d", len(in.Domains), nl.NumCells())
+		return nil, flowerr.BadInputf("power: domains for %d cells, want %d", len(in.Domains), nl.NumCells())
 	}
 	if in.LgateNM != nil && len(in.LgateNM) != nl.NumCells() {
-		return nil, fmt.Errorf("power: lgate for %d cells, want %d", len(in.LgateNM), nl.NumCells())
+		return nil, flowerr.BadInputf("power: lgate for %d cells, want %d", len(in.LgateNM), nl.NumCells())
 	}
 	tech := &nl.Lib.Tech
 	fHz := in.FreqMHz * 1e6

@@ -170,7 +170,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		ID:      fmt.Sprintf("job-%06d", m.nextID),
 		Req:     req,
 		state:   JobQueued,
-		created: time.Now(),
+		created: time.Now(), //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
 		done:    make(chan struct{}),
 	}
 	select {
@@ -222,7 +222,7 @@ func (m *Manager) Cancel(id string) (JobSnapshot, bool) {
 	case JobQueued:
 		job.state = JobCancelled
 		job.err = flowerr.Cancelledf("service: job %s cancelled while queued", job.ID)
-		job.finished = time.Now()
+		job.finished = time.Now() //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
 		close(job.done)
 		m.m.JobsCancelled.Add(1)
 	case JobRunning:
@@ -243,7 +243,7 @@ func (m *Manager) worker() {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		job.state = JobRunning
-		job.started = time.Now()
+		job.started = time.Now() //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
 		job.cancel = cancel
 		job.mu.Unlock()
 
@@ -253,7 +253,7 @@ func (m *Manager) worker() {
 		cancel()
 
 		job.mu.Lock()
-		job.finished = time.Now()
+		job.finished = time.Now() //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
 		switch {
 		case err == nil:
 			job.state = JobDone

@@ -16,11 +16,11 @@ package sta
 import (
 	"fmt"
 	"math"
-
 	"sort"
 	"strings"
-	"vipipe/internal/netlist"
 
+	"vipipe/internal/flowerr"
+	"vipipe/internal/netlist"
 	"vipipe/internal/place"
 )
 
@@ -40,10 +40,10 @@ type Analyzer struct {
 // New prepares an analyzer for a placed netlist.
 func New(nl *netlist.Netlist, pl *place.Placement) (*Analyzer, error) {
 	if pl.NL != nl {
-		return nil, fmt.Errorf("sta: placement belongs to a different netlist")
+		return nil, flowerr.BadInputf("sta: placement belongs to a different netlist")
 	}
 	if len(pl.X) != nl.NumCells() {
-		return nil, fmt.Errorf("sta: placement covers %d of %d cells", len(pl.X), nl.NumCells())
+		return nil, flowerr.BadInputf("sta: placement covers %d of %d cells", len(pl.X), nl.NumCells())
 	}
 	order, err := nl.Levelize()
 	if err != nil {

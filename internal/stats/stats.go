@@ -10,9 +10,10 @@
 package stats
 
 import (
-	"errors"
 	"math"
 	"sort"
+
+	"vipipe/internal/flowerr"
 )
 
 // Summary holds descriptive statistics of a sample.
@@ -127,7 +128,7 @@ func (n Normal) ThreeSigmaHigh() float64 { return n.Mu + 3*n.Sigma }
 // FitNormal estimates a Normal from samples by moment matching.
 func FitNormal(xs []float64) (Normal, error) {
 	if len(xs) < 2 {
-		return Normal{}, errors.New("stats: need at least 2 samples to fit a normal")
+		return Normal{}, flowerr.BadInputf("stats: need at least 2 samples to fit a normal")
 	}
 	s := Summarize(xs)
 	return Normal{Mu: s.Mean, Sigma: s.StdDev}, nil
@@ -149,10 +150,10 @@ type GOFResult struct {
 // practice. Degrees of freedom are bins-1-2 (two fitted parameters).
 func ChiSquareNormalTest(xs []float64, dist Normal, alpha float64) (GOFResult, error) {
 	if len(xs) < 20 {
-		return GOFResult{}, errors.New("stats: chi-square test needs at least 20 samples")
+		return GOFResult{}, flowerr.BadInputf("stats: chi-square test needs at least 20 samples")
 	}
 	if dist.Sigma <= 0 {
-		return GOFResult{}, errors.New("stats: chi-square test needs sigma > 0")
+		return GOFResult{}, flowerr.BadInputf("stats: chi-square test needs sigma > 0")
 	}
 	// Equiprobable bins: expected count is identical in each, which
 	// keeps the merge step trivial and the test well-conditioned.
@@ -205,10 +206,10 @@ func ChiSquareNormalTest(xs []float64, dist Normal, alpha float64) (GOFResult, e
 func KolmogorovSmirnovTest(xs []float64, dist Normal, alpha float64) (GOFResult, error) {
 	n := len(xs)
 	if n < 8 {
-		return GOFResult{}, errors.New("stats: KS test needs at least 8 samples")
+		return GOFResult{}, flowerr.BadInputf("stats: KS test needs at least 8 samples")
 	}
 	if dist.Sigma <= 0 {
-		return GOFResult{}, errors.New("stats: KS test needs sigma > 0")
+		return GOFResult{}, flowerr.BadInputf("stats: KS test needs sigma > 0")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

@@ -2,6 +2,7 @@ package vi
 
 import (
 	"fmt"
+	"slices"
 
 	"vipipe/internal/cell"
 	"vipipe/internal/flowerr"
@@ -55,7 +56,17 @@ func (p *Partition) InsertShifters(pl *place.Placement) (int, error) {
 				byRegion[p.Region[s.Inst]] = append(byRegion[p.Region[s.Inst]], s)
 			}
 		}
-		for region, sinks := range byRegion {
+		// Iterate regions in ascending order: shifter instance IDs,
+		// their names and their placement all depend on creation
+		// order, and map iteration would make them vary run to run —
+		// poisoning content-addressed artifacts downstream.
+		regions := make([]int32, 0, len(byRegion))
+		for region := range byRegion {
+			regions = append(regions, region)
+		}
+		slices.Sort(regions)
+		for _, region := range regions {
+			sinks := byRegion[region]
 			// Create the shifter fed by the original net. Its stage
 			// tag follows the driver so per-stage timing still
 			// groups sensibly; the unit tag marks it for Table 2

@@ -16,7 +16,6 @@ package vi
 
 import (
 	"context"
-	"fmt"
 	"math"
 
 	"vipipe/internal/cell"
@@ -303,7 +302,7 @@ func Generate(ctx context.Context, a *sta.Analyzer, model *variation.Model, scen
 			return nil, err
 		}
 		if !ok {
-			return nil, fmt.Errorf("vi: %s slicing cannot compensate scenario %d (position %s) even at %.0f%% high-Vdd",
+			return nil, flowerr.BadInputf("vi: %s slicing cannot compensate scenario %d (position %s) even at %.0f%% high-Vdd",
 				opts.Strategy, k+1, pos.Name, 100*opts.MaxFrac)
 		}
 		for hi-lo > opts.Granularity {
