@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race fault fuzz service-it ci clean
+.PHONY: all build fmt vet lint test race fault fuzz service-it bench bench-smoke ci clean
 
 all: build
 
@@ -54,7 +54,19 @@ fuzz:
 service-it:
 	$(GO) test -race -count=1 ./internal/service/... ./cmd/vipiped
 
-ci: fmt vet lint build race test fault service-it
+# Service-engine benchmark. `make bench` runs the full sweep benchmark
+# and writes benchstat-friendly output to BENCH_service.json (go test
+# -json stream; pipe `jq -r 'select(.Action=="output").Output'` into
+# benchstat, or read the Benchmark lines directly). bench-smoke is the
+# one-iteration ci variant: it proves the benchmark still compiles and
+# runs without paying measurement time.
+bench:
+	$(GO) test -json -run '^$$' -bench BenchmarkServiceScenarioSweep -benchmem . | tee BENCH_service.json
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkServiceScenarioSweep -benchtime 1x .
+
+ci: fmt vet lint build race test fault service-it bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -5,12 +5,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"vipipe/internal/cliutil"
 	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
 	"vipipe/internal/stats"
 	"vipipe/internal/variation"
 )
@@ -20,6 +22,7 @@ var app = cliutil.New("lgatemap")
 func main() {
 	app.SeedFlag()
 	app.NFlag(28, "grid resolution (cells per chip edge)")
+	app.TraceFlag()
 	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 	random := flag.Bool("random", false, "overlay the per-gate random Lgate component on the systematic map")
 	flag.Parse()
@@ -29,8 +32,12 @@ func main() {
 		app.Fatal(flowerr.BadInputf("grid resolution %d, need at least 2", *n))
 	}
 
+	ctx, finishTrace := app.StartTrace(context.Background())
 	m := variation.Default()
-	grid := m.MapGrid(*n)
+	grid := mapGrid(ctx, m, *n)
+	if err := finishTrace(); err != nil {
+		app.Fatal(err)
+	}
 	if *random {
 		// Each grid point gets an independent draw from the random
 		// component (3*sigma = RndFrac), as a gate at that spot would.
@@ -88,6 +95,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "warning:", err)
 		}
 	}
+}
+
+// mapGrid evaluates the systematic map under a span, so even this
+// purely combinational tool shows up in a -trace profile.
+func mapGrid(ctx context.Context, m variation.Model, n int) [][]float64 {
+	_, span := obs.Start(ctx, "variation.map_grid")
+	defer span.End()
+	span.SetAttr("n", n)
+	return m.MapGrid(n)
 }
 
 // checkMonotone verifies the diagonal gradient the scenarios rely on.

@@ -27,14 +27,19 @@ func main() {
 	app.ConfigFlags(false)
 	app.SamplesFlag()
 	app.JSONFlag()
+	app.TraceFlag()
 	flag.Parse()
 
 	ctx, stop := app.Context()
 	defer stop()
+	ctx, finishTrace := app.StartTrace(ctx)
 
 	cfg := app.Config()
 	f := vipipe.New(cfg)
 	if err := f.Run(ctx); err != nil {
+		fatal(err)
+	}
+	if err := finishTrace(); err != nil {
 		fatal(err)
 	}
 

@@ -30,6 +30,7 @@ func fatal(err error) { app.Fatal(err) }
 func main() {
 	app.ConfigFlags(true)
 	app.PosFlag("A", "chip position (A-D) for the variability-injection round trip")
+	app.TraceFlag()
 	sdfPath := flag.String("sdf", "", "write nominal delays as SDF to this path")
 	vPath := flag.String("verilog", "", "write the netlist as structural Verilog to this path")
 	defPath := flag.String("def", "", "write the placement as DEF to this path")
@@ -39,12 +40,16 @@ func main() {
 	cfg.Place.Seed = app.Seed
 	ctx, stop := app.Context()
 	defer stop()
+	ctx, finishTrace := app.StartTrace(ctx)
 
 	f := vipipe.New(cfg)
 	for _, step := range []func(context.Context) error{f.Synthesize, f.Place, f.Analyze} {
 		if err := step(ctx); err != nil {
 			fatal(err)
 		}
+	}
+	if err := finishTrace(); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("core: %d cells, nominal fmax %.1f MHz\n", f.NL.NumCells(), f.FmaxMHz)
 

@@ -36,10 +36,12 @@ func main() {
 	app.ConfigFlags(false)
 	app.JSONFlag()
 	app.StrategyFlag("vertical,horizontal", "comma-separated slicing strategies to compare")
+	app.TraceFlag()
 	flag.Parse()
 
 	ctx, stop := app.Context()
 	defer stop()
+	ctx, finishTrace := app.StartTrace(ctx)
 
 	strategies, err := app.Strategies()
 	if err != nil {
@@ -82,6 +84,9 @@ func main() {
 			count, 100*part.ShifterAreaFrac())
 		fmt.Printf("  post-insertion critical-path degradation: %.1f%% (paper: 8%% ver / 15%% hor)\n\n",
 			100*degr)
+	}
+	if err := finishTrace(); err != nil {
+		fatal(err)
 	}
 	if app.JSON {
 		if err := wire.Encode(os.Stdout, entries); err != nil {

@@ -27,12 +27,14 @@ var runDRC bool
 
 func main() {
 	app.ConfigFlags(false)
+	app.TraceFlag()
 	experiment := flag.String("experiment", "all", "one of: all, timing, table1, table2, fig5, fig6")
 	flag.BoolVar(&runDRC, "drc", false, "run design-rule checks between flow steps and fail on violations")
 	flag.Parse()
 
 	ctx, stop := app.Context()
 	defer stop()
+	ctx, finishTrace := app.StartTrace(ctx)
 
 	cfg := app.Config()
 
@@ -48,6 +50,9 @@ func main() {
 		runAll(ctx, cfg, *experiment)
 	default:
 		fatal(flowerr.BadInputf("unknown experiment %q", *experiment))
+	}
+	if err := finishTrace(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -8,9 +8,15 @@
 // baseline plus four cached characterizations instead of four cold
 // flow runs.
 //
+// Every finished job leaves its span trace in a bounded flight
+// recorder, served at /debug/runs (index) and /debug/trace/{id}
+// (Chrome trace-event JSON, loadable in Perfetto). With -debug the
+// net/http/pprof profiling endpoints mount under /debug/pprof/.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the
-// in-flight jobs (bounded by -drain-timeout), and exits without
-// dropping completed results mid-write.
+// in-flight jobs (bounded by -drain-timeout), logs how many drained
+// versus aborted, and exits without dropping completed results
+// mid-write.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -25,6 +32,7 @@ import (
 
 	"vipipe/internal/cliutil"
 	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
 	"vipipe/internal/service"
 )
 
@@ -37,17 +45,29 @@ func main() {
 	workers := flag.Int("workers", 2, "worker-pool size (concurrent jobs)")
 	queueCap := flag.Int("queue", 64, "job queue capacity")
 	cacheMB := flag.Int("cache-mb", 256, "artifact cache bound in MiB")
+	recorderCap := flag.Int("recorder", 64, "flight-recorder capacity (recent job traces kept for /debug/trace)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
 	flag.Parse()
 
 	ctx, stop := app.Context()
 	defer stop()
 
+	// Structured logs go to stderr; stdout carries only the listening
+	// line, which scripts parse to find a port-0 instance.
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	metrics := service.NewMetrics()
 	cache := service.NewCache(int64(*cacheMB) << 20)
 	eng := service.NewEngine(cache, metrics)
-	mgr := service.NewManager(eng, metrics, *workers, *queueCap)
-	srv := &http.Server{Handler: service.NewServer(mgr, metrics)}
+	recorder := obs.NewRecorder(*recorderCap)
+	mgr := service.NewManager(eng, metrics, *workers, *queueCap,
+		service.WithRecorder(recorder), service.WithLogger(logger))
+	var srvOpts []service.ServerOption
+	if *debug {
+		srvOpts = append(srvOpts, service.WithPprof())
+	}
+	srv := &http.Server{Handler: service.NewServer(mgr, metrics, srvOpts...)}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -57,6 +77,9 @@ func main() {
 	// service-it harness) can drive a port-0 instance.
 	fmt.Printf("vipiped: listening on %s (workers=%d queue=%d cache=%dMiB)\n",
 		ln.Addr(), *workers, *queueCap, *cacheMB)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queueCap, "cache_mib", *cacheMB,
+		"recorder", *recorderCap, "pprof", *debug)
 
 	serveErr := make(chan error, 1)
 	//lint:ignore goroutine the daemon's single serve goroutine; srv.Shutdown joins it on drain
@@ -69,17 +92,20 @@ func main() {
 	}
 	stop() // a second signal kills immediately via default handling
 
-	fmt.Println("vipiped: signal received, draining")
+	logger.Info("signal received, draining", "timeout", drainTimeout.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Stop accepting HTTP first so no new submissions race the drain,
 	// then let the worker pool finish queued and running jobs.
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "vipiped: http shutdown:", err)
+		logger.Error("http shutdown", "error", err)
 	}
-	if err := mgr.Drain(shutdownCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "vipiped: drain:", err)
+	stats, err := mgr.Drain(shutdownCtx)
+	logger.Info("drain finished", "drained", stats.Drained, "aborted", stats.Aborted)
+	if err != nil {
+		logger.Error("drain", "error", err, "class", flowerr.Class(err))
 		os.Exit(flowerr.ExitCode(err))
 	}
+	// Scripts (and the e2e test) watch stdout for this banner.
 	fmt.Println("vipiped: drained, bye")
 }

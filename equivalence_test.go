@@ -7,6 +7,7 @@ import (
 
 	"vipipe/internal/cell"
 	"vipipe/internal/mc"
+	"vipipe/internal/obs"
 	"vipipe/internal/pipeline"
 	"vipipe/internal/power"
 	"vipipe/internal/service/wire"
@@ -214,5 +215,38 @@ func TestGraphFlowMatchesSeedPath(t *testing.T) {
 	}
 	if got, ref := encode(t, wire.FromPowerReport(v.(*power.Report))), encode(t, wire.FromPowerReport(want.scenB)); !bytes.Equal(got, ref) {
 		t.Error("graph scenario-power artifact diverges from the seed path")
+	}
+}
+
+// TestTracedFlowMatchesSeedPath extends the equivalence proof to
+// tracing: the same graph request under an armed tracer must produce
+// the bit-identical wire encoding — spans observe computes, they may
+// never perturb them — while the trace itself carries one span per
+// artifact-graph node.
+func TestTracedFlowMatchesSeedPath(t *testing.T) {
+	ctx := context.Background()
+	cfg := TestConfig()
+	want := runSeedPath(t, ctx, cfg)
+
+	tr := obs.NewTracer("equiv", "traced-equivalence")
+	tctx := obs.WithTracer(ctx, tr)
+	g := NewGraph(cfg, pipeline.NewMemStore())
+	v, err := g.RequestOne(tctx, NodeScenarioPower(vi.Vertical, 2, "B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := encode(t, wire.FromPowerReport(v.(*power.Report))), encode(t, wire.FromPowerReport(want.scenB)); !bytes.Equal(got, ref) {
+		t.Error("traced scenario-power artifact diverges from the seed path")
+	}
+
+	trace := tr.Finish()
+	nodes := make(map[string]bool)
+	for _, s := range trace.Spans {
+		nodes[s.Name] = true
+	}
+	for _, id := range []string{NodeSynth, NodePlace, NodeAnalyze, NodeScenarioPower(vi.Vertical, 2, "B")} {
+		if !nodes[id] {
+			t.Errorf("trace has no span for node %s (spans: %d)", id, len(trace.Spans))
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"vipipe"
 	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
 	"vipipe/internal/variation"
 	"vipipe/internal/vi"
 )
@@ -34,6 +35,7 @@ type App struct {
 	N        int
 	Pos      string
 	Strategy string
+	Trace    string
 }
 
 // New returns an App for the named tool. No flags are registered yet.
@@ -116,6 +118,40 @@ func (a *App) Strategies() ([]vi.Strategy, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// TraceFlag registers -trace, the shared tracing switch: a non-empty
+// path arms a span tracer for the run and writes the Chrome
+// trace-event JSON there on exit (load it at ui.perfetto.dev or
+// chrome://tracing).
+func (a *App) TraceFlag() {
+	flag.StringVar(&a.Trace, "trace", "", "write a Chrome trace-event JSON profile of the run to this file")
+}
+
+// StartTrace arms tracing when -trace was given: it returns a context
+// carrying a fresh tracer plus a finish function that ends the root
+// span and writes the trace file. Without -trace both are pass-through
+// (the finish function is still safe to call). Call finish before
+// printing results so a Fatal exit cannot drop the profile.
+func (a *App) StartTrace(ctx context.Context) (context.Context, func() error) {
+	if a.Trace == "" {
+		return ctx, func() error { return nil }
+	}
+	tr := obs.NewTracer(a.Name+"-cli", a.Name)
+	ctx = obs.WithTracer(ctx, tr)
+	ctx, root := obs.Start(ctx, a.Name)
+	return ctx, func() error {
+		root.End()
+		f, err := os.Create(a.Trace)
+		if err != nil {
+			return fmt.Errorf("%s: writing trace: %w", a.Name, err)
+		}
+		if err := tr.Finish().WriteChrome(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: writing trace: %w", a.Name, err)
+		}
+		return f.Close()
+	}
 }
 
 // Context returns a context cancelled on SIGINT/SIGTERM, so Ctrl-C

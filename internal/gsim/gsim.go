@@ -19,6 +19,7 @@ import (
 
 	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
+	"vipipe/internal/obs"
 )
 
 // Simulator holds the evaluation state of one netlist.
@@ -153,6 +154,10 @@ func (s *Simulator) RunContext(ctx context.Context, cycles int, drive func(cycle
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := obs.Start(ctx, "gsim.run")
+	defer span.End()
+	span.SetAttr("cycles", cycles)
+	span.SetAttr("nets", s.nl.NumNets())
 	for c := 0; c < cycles; c++ {
 		if c%ctxCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {

@@ -93,15 +93,22 @@ func pkgCall(call *ast.CallExpr, local string) (string, bool) {
 // ---------------------------------------------------------------- //
 
 // determinismRule forbids wall-clock reads, the global math/rand
-// source and environment lookups inside the compute scope. All
-// randomness must flow through internal/stats/rng.go streams derived
-// from Config.Seed; anything else silently poisons cache keys and the
-// golden/equivalence suites.
+// source and environment lookups. The clock half applies module-wide:
+// internal/obs is the one package allowed to read the wall clock, and
+// everything else (schedulers, service, cmds, the root flow) routes
+// timing through obs.Now/obs.Since so traced timing never leaks into
+// artifact state. Rand and env checks stay confined to the compute
+// scope. All randomness must flow through internal/stats/rng.go
+// streams derived from Config.Seed; anything else silently poisons
+// cache keys and the golden/equivalence suites.
 type determinismRule struct{}
+
+// clockDir is the only package allowed to call time.Now/Since/Until.
+const clockDir = "internal/obs"
 
 func (determinismRule) Name() string { return "determinism" }
 func (determinismRule) Doc() string {
-	return "no time.Now/Since, global math/rand or os.Getenv in compute packages (RNG flows through internal/stats/rng.go)"
+	return "wall-clock reads only in internal/obs (use obs.Now/obs.Since elsewhere); no global math/rand or os.Getenv in compute packages"
 }
 
 // globalRandFuncs are the math/rand (and v2) package-level functions
@@ -119,7 +126,9 @@ var globalRandFuncs = map[string]bool{
 }
 
 func (determinismRule) Check(f *File, report ReportFunc) {
-	if !inComputeScope(f) {
+	clockScope := f.Dir != clockDir
+	computeScope := inComputeScope(f)
+	if !clockScope && !computeScope {
 		return
 	}
 	timeName, hasTime := pkgName(f.AST, "time", "time")
@@ -128,6 +137,9 @@ func (determinismRule) Check(f *File, report ReportFunc) {
 	if !hasRand {
 		randName, hasRand = pkgName(f.AST, "math/rand/v2", "rand")
 	}
+	hasTime = hasTime && clockScope
+	hasOS = hasOS && computeScope
+	hasRand = hasRand && computeScope
 	if !hasTime && !hasOS && !hasRand {
 		return
 	}
@@ -138,7 +150,7 @@ func (determinismRule) Check(f *File, report ReportFunc) {
 		}
 		if hasTime {
 			if sel, ok := pkgCall(call, timeName); ok && (sel == "Now" || sel == "Since" || sel == "Until") {
-				report(call.Pos(), "time.%s in a deterministic flow package: artifact state may not depend on the wall clock", sel)
+				report(call.Pos(), "time.%s outside internal/obs: route wall-clock reads through obs.Now/obs.Since so timing never leaks into artifact state", sel)
 			}
 		}
 		if hasOS {

@@ -1,5 +1,6 @@
-// Command tool sits outside the compute scope: wall-clock reads are
-// fine here and must not be reported.
+// Command tool sits outside the compute scope, but the wall-clock
+// half of the rule is module-wide: cmds route timing through obs.Now
+// too, so this read must be reported.
 package main
 
 import "time"

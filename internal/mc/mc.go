@@ -18,6 +18,7 @@ import (
 	"vipipe/internal/cell"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/netlist"
+	"vipipe/internal/obs"
 	"vipipe/internal/sta"
 	"vipipe/internal/stats"
 	"vipipe/internal/variation"
@@ -133,6 +134,15 @@ func Run(ctx context.Context, a *sta.Analyzer, model *variation.Model, pos varia
 		workers = opts.Samples
 	}
 
+	// The sample batch is the position's dominant cost: one span per
+	// mc.Run, annotated with the batch shape and, on completion, how
+	// many samples actually landed. Spans never touch artifact state.
+	ctx, span := obs.Start(ctx, "mc.samples")
+	defer span.End()
+	span.SetAttr("pos", pos.Name)
+	span.SetAttr("samples", opts.Samples)
+	span.SetAttr("workers", workers)
+
 	nCells := a.NL.NumCells()
 	tech := &a.NL.Lib.Tech
 
@@ -232,6 +242,8 @@ dispatch:
 			skipped = append(skipped, k)
 		}
 	}
+	span.SetAttr("completed", completed)
+	span.SetAttr("skipped", len(skipped))
 	if len(skipped) > opts.PanicTolerance {
 		return nil, flowerr.Classify(flowerr.ErrWorkerPanic, fmt.Errorf(
 			"mc: %d of %d samples panicked (tolerance %d): %w",

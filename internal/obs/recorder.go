@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder is the flight recorder: a bounded ring of recent traces.
+// The daemon adds one trace per finished job; /debug/runs serves the
+// index and /debug/trace/{id} the full trace. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	cap     int
+	entries []recorded // oldest first, len <= cap
+}
+
+type recorded struct {
+	trace    *Trace
+	captured time.Time
+}
+
+// Summary is one index entry of the recorder, newest first in List.
+type Summary struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	Spans    int       `json:"spans"`
+	DurMS    float64   `json:"dur_ms"`
+	Captured time.Time `json:"captured"`
+}
+
+// NewRecorder returns a recorder keeping the last n traces (n <= 0
+// defaults to 64).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 64
+	}
+	return &Recorder{cap: n}
+}
+
+// Add records a trace, evicting the oldest when full. Nil traces are
+// ignored.
+func (r *Recorder) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == r.cap {
+		copy(r.entries, r.entries[1:])
+		r.entries = r.entries[:r.cap-1]
+	}
+	r.entries = append(r.entries, recorded{trace: t, captured: Now()})
+}
+
+// Get returns the most recent trace with the given ID.
+func (r *Recorder) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		if r.entries[i].trace.ID == id {
+			return r.entries[i].trace, true
+		}
+	}
+	return nil, false
+}
+
+// List returns the index of retained traces, newest first.
+func (r *Recorder) List() []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Summary, 0, len(r.entries))
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		e := r.entries[i]
+		out = append(out, Summary{
+			ID:       e.trace.ID,
+			Name:     e.trace.Name,
+			Spans:    len(e.trace.Spans),
+			DurMS:    float64(e.trace.DurUS()) / 1000,
+			Captured: e.captured,
+		})
+	}
+	return out
+}

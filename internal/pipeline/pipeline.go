@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
 )
 
 // Node is one artifact in the graph: a stable ID (the content-address
@@ -278,14 +279,24 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 	}
 	r.mu.Unlock()
 
+	// One span per artifact node, opened once its dependencies are
+	// ready: queue_wait_us is the semaphore wait under the worker
+	// bound, the rest of the span is store lookup plus compute.
+	ctx, span := obs.Start(ctx, id)
+	defer span.End()
+	span.SetAttr("key", g.Key(id))
+
 	select {
 	case sem <- struct{}{}:
 		defer func() { <-sem }()
 	case <-ctx.Done():
+		span.SetAttr("cancelled", true)
 		r.fail(id, flowerr.Cancelledf("pipeline: node %q: %w", id, ctx.Err()))
 		return
 	}
+	span.Lap("queue_wait_us")
 	if err := ctx.Err(); err != nil {
+		span.SetAttr("cancelled", true)
 		r.fail(id, flowerr.Cancelledf("pipeline: node %q: %w", id, err))
 		return
 	}
@@ -295,14 +306,13 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 	computed := false
 	v, err := g.store.Do(ctx, g.Key(id), func() (any, int64, error) {
 		computed = true
-		t0 := time.Now() //lint:ignore determinism latency observation for hooks, not artifact state
+		t0 := obs.Now()
 		v, err := n.Compute(nodeCtx, deps)
 		if err != nil {
 			return nil, 0, err
 		}
 		if g.hooks.OnCompute != nil {
-			//lint:ignore determinism latency observation for hooks, not artifact state
-			g.hooks.OnCompute(id, time.Since(t0))
+			g.hooks.OnCompute(id, obs.Since(t0))
 		}
 		size := int64(1024)
 		if n.Size != nil {
@@ -310,7 +320,13 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 		}
 		return v, size, nil
 	})
+	if computed {
+		span.SetAttr("cache", "miss")
+	} else {
+		span.SetAttr("cache", "hit")
+	}
 	if err != nil {
+		span.SetAttr("error", flowerr.Class(err))
 		r.fail(id, fmt.Errorf("pipeline: node %q: %w", id, err))
 		return
 	}

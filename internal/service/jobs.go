@@ -3,10 +3,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 	"time"
 
 	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
 )
 
 // JobState is the lifecycle of a submitted job.
@@ -103,6 +106,8 @@ type Manager struct {
 	eng     *Engine
 	m       *Metrics
 	workers int
+	rec     *obs.Recorder
+	log     *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -114,9 +119,28 @@ type Manager struct {
 	wg sync.WaitGroup
 }
 
+// ManagerOption configures a Manager beyond the pool sizing.
+type ManagerOption func(*Manager)
+
+// WithRecorder installs a flight recorder: every job's trace is added
+// on completion, serving the /debug/runs and /debug/trace endpoints.
+func WithRecorder(r *obs.Recorder) ManagerOption {
+	return func(m *Manager) { m.rec = r }
+}
+
+// WithLogger routes the manager's structured job-lifecycle logs. The
+// default discards them.
+func WithLogger(l *slog.Logger) ManagerOption {
+	return func(m *Manager) {
+		if l != nil {
+			m.log = l
+		}
+	}
+}
+
 // NewManager sizes the pool. workers <= 0 defaults to 2; queueCap <= 0
 // defaults to 64.
-func NewManager(eng *Engine, m *Metrics, workers, queueCap int) *Manager {
+func NewManager(eng *Engine, m *Metrics, workers, queueCap int, opts ...ManagerOption) *Manager {
 	if workers <= 0 {
 		workers = 2
 	}
@@ -127,8 +151,12 @@ func NewManager(eng *Engine, m *Metrics, workers, queueCap int) *Manager {
 		eng:     eng,
 		m:       m,
 		workers: workers,
+		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, queueCap),
+	}
+	for _, opt := range opts {
+		opt(mgr)
 	}
 	for i := 0; i < workers; i++ {
 		mgr.wg.Add(1)
@@ -136,6 +164,10 @@ func NewManager(eng *Engine, m *Metrics, workers, queueCap int) *Manager {
 	}
 	return mgr
 }
+
+// Recorder returns the flight recorder wired in with WithRecorder, or
+// nil.
+func (m *Manager) Recorder() *obs.Recorder { return m.rec }
 
 // Workers returns the pool size.
 func (m *Manager) Workers() int { return m.workers }
@@ -170,7 +202,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		ID:      fmt.Sprintf("job-%06d", m.nextID),
 		Req:     req,
 		state:   JobQueued,
-		created: time.Now(), //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
+		created: obs.Now(),
 		done:    make(chan struct{}),
 	}
 	select {
@@ -183,6 +215,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.m.JobsSubmitted.Add(1)
+	m.log.Info("job submitted", "job", job.ID, "kind", req.Kind, "queue_depth", len(m.queue))
 	return job, nil
 }
 
@@ -222,9 +255,10 @@ func (m *Manager) Cancel(id string) (JobSnapshot, bool) {
 	case JobQueued:
 		job.state = JobCancelled
 		job.err = flowerr.Cancelledf("service: job %s cancelled while queued", job.ID)
-		job.finished = time.Now() //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
+		job.finished = obs.Now()
 		close(job.done)
 		m.m.JobsCancelled.Add(1)
+		m.log.Info("job cancelled while queued", "job", job.ID, "kind", job.Req.Kind)
 	case JobRunning:
 		job.cancel() // worker finishes the bookkeeping
 	}
@@ -243,9 +277,16 @@ func (m *Manager) worker() {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		job.state = JobRunning
-		job.started = time.Now() //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
+		job.started = obs.Now()
 		job.cancel = cancel
 		job.mu.Unlock()
+		m.log.Info("job started", "job", job.ID, "kind", job.Req.Kind)
+
+		// Each job runs under its own tracer; the finished trace goes
+		// to the flight recorder for /debug/trace/{id}.
+		tr := obs.NewTracer(job.ID, job.Req.Kind)
+		ctx = obs.WithTracer(ctx, tr)
+		ctx, root := obs.Start(ctx, "job."+job.Req.Kind)
 
 		m.m.WorkersBusy.Add(1)
 		res, err := m.eng.Run(ctx, job.Req)
@@ -253,7 +294,7 @@ func (m *Manager) worker() {
 		cancel()
 
 		job.mu.Lock()
-		job.finished = time.Now() //lint:ignore determinism job lifecycle timestamps are operational metadata, not artifact state
+		job.finished = obs.Now()
 		switch {
 		case err == nil:
 			job.state = JobDone
@@ -268,24 +309,71 @@ func (m *Manager) worker() {
 			job.err = err
 			m.m.JobsFailed.Add(1)
 		}
-		m.m.ObserveStep("job."+job.Req.Kind, job.finished.Sub(job.started))
+		state, dur := job.state, job.finished.Sub(job.started)
+		m.m.ObserveStep("job."+job.Req.Kind, dur)
 		close(job.done)
 		job.mu.Unlock()
+
+		root.SetAttr("state", state)
+		if err != nil {
+			root.SetAttr("error", flowerr.Class(err))
+		}
+		root.End()
+		m.rec.Add(tr.Finish())
+		if err != nil {
+			m.log.Warn("job finished", "job", job.ID, "kind", job.Req.Kind,
+				"state", state, "dur_ms", dur.Milliseconds(), "error_class", flowerr.Class(err), "error", err)
+		} else {
+			m.log.Info("job finished", "job", job.ID, "kind", job.Req.Kind,
+				"state", state, "dur_ms", dur.Milliseconds())
+		}
 	}
+}
+
+// DrainStats accounts for the jobs that were still open when Drain
+// was called: Drained ran to a done or failed state before the
+// deadline, Aborted were cancelled (by the deadline or a concurrent
+// Cancel).
+type DrainStats struct {
+	Drained int
+	Aborted int
 }
 
 // Drain stops accepting submissions, lets the workers finish every
 // queued and running job, and returns when the pool is idle. Completed
 // results remain fetchable afterwards. If ctx expires first, the
 // remaining running jobs are cancelled, the pool is awaited, and the
-// ctx error is returned.
-func (m *Manager) Drain(ctx context.Context) error {
+// ctx error is returned. Either way the stats classify every job that
+// was open at drain start.
+func (m *Manager) Drain(ctx context.Context) (DrainStats, error) {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
 		close(m.queue)
 	}
+	var open []*Job
+	for _, job := range m.jobs {
+		job.mu.Lock()
+		if !job.state.Terminal() {
+			open = append(open, job)
+		}
+		job.mu.Unlock()
+	}
 	m.mu.Unlock()
+
+	stats := func() DrainStats {
+		var s DrainStats
+		for _, job := range open {
+			job.mu.Lock()
+			if job.state == JobCancelled {
+				s.Aborted++
+			} else {
+				s.Drained++
+			}
+			job.mu.Unlock()
+		}
+		return s
+	}
 
 	idle := make(chan struct{})
 	go func() {
@@ -294,7 +382,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
-		return nil
+		return stats(), nil
 	case <-ctx.Done():
 		m.mu.Lock()
 		for _, job := range m.jobs {
@@ -306,6 +394,6 @@ func (m *Manager) Drain(ctx context.Context) error {
 		}
 		m.mu.Unlock()
 		<-idle
-		return flowerr.Cancelledf("service: drain deadline expired, in-flight jobs cancelled: %w", ctx.Err())
+		return stats(), flowerr.Cancelledf("service: drain deadline expired, in-flight jobs cancelled: %w", ctx.Err())
 	}
 }

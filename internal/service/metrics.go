@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vipipe/internal/obs"
 )
 
 // Metrics is the service's stdlib-only metrics registry, published as
@@ -17,7 +19,7 @@ import (
 //	jobs.submitted / completed / failed / cancelled / rejected
 //	jobs.queue_depth / workers_busy / workers
 //	cache.hits / misses / evictions / entries / size_bytes / cap_bytes / hit_rate
-//	latency_ms.<step>.{count,mean,p50,p90,p99,max,buckets}
+//	latency_ms.<step>.{count,mean,p50,p90,p95,p99,max,buckets}
 //	counters.<name>
 //
 // Steps are "artifact.<node>" for pipeline-graph computes (one
@@ -43,7 +45,7 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		start:    time.Now(), //lint:ignore determinism uptime gauge is reporting metadata, not artifact state
+		start:    obs.Now(),
 		hists:    make(map[string]*Histogram),
 		counters: make(map[string]*atomic.Int64),
 	}
@@ -118,6 +120,7 @@ type HistogramSnapshot struct {
 	MeanMS  float64          `json:"mean_ms"`
 	P50MS   float64          `json:"p50_ms"`
 	P90MS   float64          `json:"p90_ms"`
+	P95MS   float64          `json:"p95_ms"`
 	P99MS   float64          `json:"p99_ms"`
 	MaxMS   float64          `json:"max_ms"`
 	Buckets map[string]int64 `json:"buckets"`
@@ -157,6 +160,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if total > 0 {
 		s.P50MS = pct(0.50)
 		s.P90MS = pct(0.90)
+		s.P95MS = pct(0.95)
 		s.P99MS = pct(0.99)
 	}
 	for i, c := range counts {
@@ -220,8 +224,7 @@ type CacheStatsView struct {
 // cache and manager the server wires in (either may be nil).
 func (m *Metrics) Snapshot(cache *Cache, mgr *Manager) Snapshot {
 	s := Snapshot{
-		//lint:ignore determinism uptime gauge is reporting metadata, not artifact state
-		UptimeS: time.Since(m.start).Seconds(),
+		UptimeS: obs.Since(m.start).Seconds(),
 		Jobs: JobCounters{
 			Submitted:   m.JobsSubmitted.Load(),
 			Completed:   m.JobsCompleted.Load(),

@@ -29,6 +29,9 @@ func TestHistogramObserve(t *testing.T) {
 	if s.P50MS != 1000 {
 		t.Errorf("p50 = %vms; want 1000 (bucket bound holding the upper median, 600ms)", s.P50MS)
 	}
+	if s.P95MS != s.MaxMS {
+		t.Errorf("p95 = %vms; want max for overflow-bucket tail", s.P95MS)
+	}
 	if s.P99MS != s.MaxMS {
 		t.Errorf("p99 = %vms; want max for overflow-bucket tail", s.P99MS)
 	}
@@ -82,6 +85,62 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 	if s.UptimeS < 0 {
 		t.Fatalf("uptime = %v", s.UptimeS)
+	}
+}
+
+// TestHistogramPercentileOrder pins P50 <= P90 <= P95 <= P99 on a
+// spread of samples (each percentile is a bucket upper bound, so ties
+// are fine but inversions are not).
+func TestHistogramPercentileOrder(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i*4) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.P50MS > s.P90MS || s.P90MS > s.P95MS || s.P95MS > s.P99MS {
+		t.Fatalf("percentiles out of order: p50=%v p90=%v p95=%v p99=%v",
+			s.P50MS, s.P90MS, s.P95MS, s.P99MS)
+	}
+	if s.P95MS <= s.P50MS {
+		t.Fatalf("p95 = %v not above p50 = %v for a 4..400ms spread", s.P95MS, s.P50MS)
+	}
+}
+
+// TestMetricsSnapshotConcurrentWriters drives Snapshot while other
+// goroutines observe and increment — run under -race this proves the
+// registry's documented concurrency safety.
+func TestMetricsSnapshotConcurrentWriters(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.ObserveStep("step", time.Duration(j%50)*time.Millisecond)
+				m.Inc("writes")
+				m.JobsSubmitted.Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		s := m.Snapshot(nil, nil)
+		if got := s.Latency["step"]; got.Count > 0 && got.P50MS > got.P99MS {
+			t.Errorf("snapshot %d: p50 %v > p99 %v", i, got.P50MS, got.P99MS)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	final := m.Snapshot(nil, nil)
+	if final.Counters["writes"] != final.Latency["step"].Count {
+		t.Fatalf("writes counter %d != step observations %d",
+			final.Counters["writes"], final.Latency["step"].Count)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 
 	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
 	"vipipe/internal/service/wire"
 )
 
@@ -21,6 +23,9 @@ import (
 //	POST /jobs/{id}/cancel request cancellation       -> 200 + JobSnapshot
 //	GET  /metrics          metrics snapshot           -> 200 + Snapshot
 //	GET  /healthz          liveness                   -> 200
+//	GET  /debug/runs       flight-recorder index      -> 200 + [obs.Summary]
+//	GET  /debug/trace/{id} Chrome trace-event JSON    -> 200 (Perfetto-loadable)
+//	GET  /debug/pprof/...  net/http/pprof             (only with WithPprof)
 //
 // Failure classes map onto statuses via flowerr.HTTPStatus: bad input
 // 400, step order 409, cancelled 499, no-scenario and DRC 422, panics
@@ -32,8 +37,24 @@ type Server struct {
 	mux *http.ServeMux
 }
 
+// ServerOption configures optional routes.
+type ServerOption func(*Server)
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiling endpoints expose stacks and heap contents, so the daemon
+// only enables them behind its -debug flag.
+func WithPprof() ServerOption {
+	return func(s *Server) {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
 // NewServer wires the routes.
-func NewServer(mgr *Manager, m *Metrics) *Server {
+func NewServer(mgr *Manager, m *Metrics, opts ...ServerOption) *Server {
 	s := &Server{mgr: mgr, m: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleList)
@@ -41,9 +62,14 @@ func NewServer(mgr *Manager, m *Metrics) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
 
@@ -136,4 +162,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Snapshot(s.mgr.eng.Cache(), s.mgr))
+}
+
+// handleRuns serves the flight-recorder index: one summary per
+// retained job trace, newest first. An empty list (also when no
+// recorder is wired) is a valid answer, not an error.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	list := s.mgr.Recorder().List()
+	if list == nil {
+		list = []obs.Summary{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleTrace serves one retained trace as Chrome trace-event JSON —
+// the same format the CLIs write with -trace, loadable in Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.mgr.Recorder().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, flowerr.BadInputf("service: no recorded trace for job %q (recorder keeps recent jobs only)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = t.WriteChrome(w)
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"vipipe/internal/obs"
 	"vipipe/internal/service/wire"
 )
 
@@ -26,13 +27,14 @@ var slowSpec = ConfigSpec{Small: true, Seed: 1, MCSamples: 400000, VISamples: 24
 func newTestServer(t *testing.T, workers, queueCap int) (*httptest.Server, *Manager, *Metrics) {
 	t.Helper()
 	m := NewMetrics()
-	mgr := NewManager(NewEngine(NewCache(64<<20), m), m, workers, queueCap)
+	mgr := NewManager(NewEngine(NewCache(64<<20), m), m, workers, queueCap,
+		WithRecorder(obs.NewRecorder(8)))
 	ts := httptest.NewServer(NewServer(mgr, m))
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		_ = mgr.Drain(ctx)
+		_, _ = mgr.Drain(ctx)
 	})
 	return ts, mgr, m
 }
@@ -360,8 +362,12 @@ func TestServiceDrainKeepsCompletedResults(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := mgr.Drain(ctx); err != nil {
+	stats, err := mgr.Drain(ctx)
+	if err != nil {
 		t.Fatalf("drain: %v", err)
+	}
+	if stats.Aborted != 0 {
+		t.Fatalf("drain stats = %+v; want no aborted jobs", stats)
 	}
 
 	// Completed results survive the drain...
@@ -381,6 +387,97 @@ func TestServiceDrainKeepsCompletedResults(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderEndpoints(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 8)
+
+	snap := submit(t, ts.URL, Request{Kind: "characterize", Position: "A", Config: tinySpec}, http.StatusAccepted)
+	done := waitState(t, ts.URL, snap.ID, func(s JobSnapshot) bool { return s.State.Terminal() })
+	if done.State != JobDone {
+		t.Fatalf("job = %s (%s); want done", done.State, done.Error)
+	}
+
+	// The index lists the finished job, newest first.
+	resp, err := http.Get(ts.URL + "/debug/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []obs.Summary
+	decodeBody(t, resp, &runs)
+	if len(runs) != 1 || runs[0].ID != snap.ID || runs[0].Name != "characterize" {
+		t.Fatalf("/debug/runs = %+v; want one entry for %s", runs, snap.ID)
+	}
+	if runs[0].Spans == 0 {
+		t.Fatalf("recorded trace has no spans: %+v", runs[0])
+	}
+
+	// The trace endpoint serves the same Chrome trace-event format the
+	// CLIs write, with the per-node cache attribute present.
+	resp, err = http.Get(ts.URL + "/debug/trace/" + snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace/%s = %d; want 200", snap.ID, resp.StatusCode)
+	}
+	f, err := obs.ParseChrome(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.OtherData["trace_id"] != snap.ID {
+		t.Fatalf("trace_id = %q; want %q", f.OtherData["trace_id"], snap.ID)
+	}
+	cached := 0
+	for _, ev := range f.TraceEvents {
+		if ev.Args["cache"] != "" {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Fatalf("no node spans with cache attrs among %d events", len(f.TraceEvents))
+	}
+
+	// Unknown IDs 404.
+	resp, err = http.Get(ts.URL + "/debug/trace/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d; want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofOnlyWithOption(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 4)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without WithPprof = %d; want 404", resp.StatusCode)
+	}
+
+	m := NewMetrics()
+	mgr := NewManager(NewEngine(NewCache(1<<20), m), m, 1, 4)
+	dbg := httptest.NewServer(NewServer(mgr, m, WithPprof()))
+	defer dbg.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = mgr.Drain(ctx)
+	}()
+	resp, err = http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with WithPprof = %d; want 200", resp.StatusCode)
+	}
+}
+
 func TestDrainDeadlineCancelsRunningJobs(t *testing.T) {
 	ts, mgr, _ := newTestServer(t, 1, 4)
 
@@ -389,12 +486,15 @@ func TestDrainDeadlineCancelsRunningJobs(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	err := mgr.Drain(ctx)
+	stats, err := mgr.Drain(ctx)
 	if err == nil {
 		t.Fatal("drain returned nil despite a job outliving the deadline")
 	}
 	job, _ := mgr.Get(snap.ID)
 	if st := job.Snapshot().State; st != JobCancelled {
 		t.Fatalf("job after forced drain = %s; want cancelled", st)
+	}
+	if stats.Aborted != 1 {
+		t.Fatalf("drain stats = %+v; want the deadline-cancelled job counted as aborted", stats)
 	}
 }

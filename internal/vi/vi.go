@@ -16,12 +16,15 @@ package vi
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"strconv"
 
 	"vipipe/internal/cell"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
+	"vipipe/internal/obs"
 	"vipipe/internal/place"
 	"vipipe/internal/sta"
 	"vipipe/internal/variation"
@@ -262,7 +265,7 @@ func Generate(ctx context.Context, a *sta.Analyzer, model *variation.Model, scen
 	// start side at high Vdd compensates the worst-case violation at
 	// pos: the fitted slack distribution must clear zero by
 	// YieldSigma sigmas.
-	meets := func(frac float64, pos variation.Pos) (bool, error) {
+	meets := func(ctx context.Context, frac float64, pos variation.Pos) (bool, error) {
 		domains := make([]cell.Domain, nl.NumCells())
 		bound := frac * extent
 		for i := range domains {
@@ -295,20 +298,30 @@ func Generate(ctx context.Context, a *sta.Analyzer, model *variation.Model, scen
 	for k, pos := range scenarioPos {
 		// Binary search the smallest boundary fraction (not below
 		// the previous island's bound) that compensates scenario
-		// k+1; the speed-up grows monotonically with the slice.
+		// k+1; the speed-up grows monotonically with the slice. One
+		// span per slicing pass; the per-check mc.Run spans nest
+		// under it through islandCtx.
+		islandCtx, span := obs.Start(ctx, fmt.Sprintf("vi.island/%d", k+1))
+		span.SetAttr("strategy", opts.Strategy)
+		span.SetAttr("pos", pos.Name)
+		checks := 1
 		lo, hi := prevFrac, opts.MaxFrac
-		ok, err := meets(hi, pos)
+		ok, err := meets(islandCtx, hi, pos)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		if !ok {
+			span.End()
 			return nil, flowerr.BadInputf("vi: %s slicing cannot compensate scenario %d (position %s) even at %.0f%% high-Vdd",
 				opts.Strategy, k+1, pos.Name, 100*opts.MaxFrac)
 		}
 		for hi-lo > opts.Granularity {
 			mid := (lo + hi) / 2
-			ok, err := meets(mid, pos)
+			ok, err := meets(islandCtx, mid, pos)
+			checks++
 			if err != nil {
+				span.End()
 				return nil, err
 			}
 			if ok {
@@ -318,6 +331,9 @@ func Generate(ctx context.Context, a *sta.Analyzer, model *variation.Model, scen
 			}
 		}
 		frac := hi
+		span.SetAttr("checks", checks)
+		span.SetAttr("frac", strconv.FormatFloat(frac, 'f', 4, 64))
+		span.End()
 		isl := Island{Index: k + 1, FromUM: prevFrac * extent, ToUM: frac * extent}
 		bound := frac * extent
 		prevBound := prevFrac * extent

@@ -49,6 +49,7 @@ import (
 	"vipipe/internal/flowerr"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
+	"vipipe/internal/obs"
 	"vipipe/internal/pipeline"
 	"vipipe/internal/place"
 	"vipipe/internal/power"
@@ -359,6 +360,8 @@ func (f *Flow) InsertShifters(ctx context.Context, p *vi.Partition) (count int, 
 	if err := ctxErr(ctx, "InsertShifters"); err != nil {
 		return 0, 0, err
 	}
+	_, span := obs.Start(ctx, "vi.insert_shifters")
+	defer span.End()
 	before := f.STA.Run(f.ClockPS, f.Derate).CritPS
 	count, err = p.InsertShifters(f.PL)
 	if err != nil {
@@ -381,6 +384,7 @@ func (f *Flow) InsertShifters(ctx context.Context, p *vi.Partition) (count int, 
 			count, err)
 	}
 	after := f.STA.Run(f.ClockPS, f.Derate).CritPS
+	span.SetAttr("shifters", count)
 	return count, after/before - 1, nil
 }
 
