@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint test race fault fuzz service-it bench bench-smoke ci clean
+.PHONY: all build fmt vet lint test race fault fuzz service-it crash-it bench bench-smoke ci clean
 
 all: build
 
@@ -47,12 +47,21 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParseDEF -fuzztime=10s ./internal/def
 
 # Service integration: the in-process HTTP tests (submit/poll/cancel/
-# drain, >=8 concurrent clients) plus the daemon end-to-end test, which
-# builds cmd/vipiped, boots it on a random port, drives a job over HTTP
-# and SIGTERMs it. Everything runs under the race detector; the daemon
-# exits inside the test, so nothing leaks.
+# drain, >=8 concurrent clients, backpressure, degraded serving) plus
+# the daemon end-to-end tests, which build cmd/vipiped, boot it on a
+# random port, drive jobs over HTTP and SIGTERM it. Everything runs
+# under the race detector; the daemon exits inside the test, so
+# nothing leaks.
 service-it:
 	$(GO) test -race -count=1 ./internal/service/... ./cmd/vipiped
+
+# Durability integration: kill -9 a daemon mid-computation, restart it
+# over the same -store directory, and prove the second sweep is warm
+# while a deliberately corrupted artifact is quarantined, never
+# served. Runs without -race (it drives the real binary; the in-test
+# harness is trivial) so the crash cycle stays fast.
+crash-it:
+	$(GO) test -count=1 -run 'TestDaemonCrashRecovery|TestDaemonDegradedStore' ./cmd/vipiped
 
 # Service-engine benchmark. `make bench` runs the full sweep benchmark
 # and writes benchstat-friendly output to BENCH_service.json (go test
@@ -66,7 +75,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkServiceScenarioSweep -benchtime 1x .
 
-ci: fmt vet lint build race test fault service-it bench-smoke
+ci: fmt vet lint build race test fault service-it crash-it bench-smoke
 
 clean:
 	$(GO) clean ./...

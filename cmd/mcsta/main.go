@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"os"
 
-	"vipipe"
 	"vipipe/internal/cliutil"
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
@@ -28,6 +27,7 @@ func main() {
 	app.SamplesFlag()
 	app.JSONFlag()
 	app.TraceFlag()
+	app.StoreFlag()
 	flag.Parse()
 
 	ctx, stop := app.Context()
@@ -35,7 +35,7 @@ func main() {
 	ctx, finishTrace := app.StartTrace(ctx)
 
 	cfg := app.Config()
-	f := vipipe.New(cfg)
+	f := app.NewFlow(cfg)
 	if err := f.Run(ctx); err != nil {
 		fatal(err)
 	}

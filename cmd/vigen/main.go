@@ -10,7 +10,6 @@ import (
 	"os"
 	"strings"
 
-	"vipipe"
 	"vipipe/internal/cliutil"
 	"vipipe/internal/service/wire"
 	"vipipe/internal/vi"
@@ -37,6 +36,7 @@ func main() {
 	app.JSONFlag()
 	app.StrategyFlag("vertical,horizontal", "comma-separated slicing strategies to compare")
 	app.TraceFlag()
+	app.StoreFlag()
 	flag.Parse()
 
 	ctx, stop := app.Context()
@@ -51,8 +51,9 @@ func main() {
 	for _, strat := range strategies {
 		cfg := app.Config()
 		// A fresh flow per strategy: shifter insertion mutates the
-		// netlist.
-		f := vipipe.New(cfg)
+		// netlist. With -store the flows still share the disk tier —
+		// it only holds pure data, never the mutated engine state.
+		f := app.NewFlow(cfg)
 		if err := f.Run(ctx); err != nil {
 			fatal(err)
 		}

@@ -28,6 +28,7 @@ var runDRC bool
 func main() {
 	app.ConfigFlags(false)
 	app.TraceFlag()
+	app.StoreFlag()
 	experiment := flag.String("experiment", "all", "one of: all, timing, table1, table2, fig5, fig6")
 	flag.BoolVar(&runDRC, "drc", false, "run design-rule checks between flow steps and fail on violations")
 	flag.Parse()
@@ -57,7 +58,7 @@ func main() {
 }
 
 func baseFlow(ctx context.Context, cfg vipipe.Config) *vipipe.Flow {
-	f := vipipe.New(cfg)
+	f := app.NewFlow(cfg)
 	if err := f.Run(ctx); err != nil {
 		fatal(err)
 	}

@@ -30,9 +30,11 @@ import (
 	"os"
 	"time"
 
+	"vipipe"
 	"vipipe/internal/cliutil"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/obs"
+	"vipipe/internal/pipeline"
 	"vipipe/internal/service"
 )
 
@@ -45,6 +47,8 @@ func main() {
 	workers := flag.Int("workers", 2, "worker-pool size (concurrent jobs)")
 	queueCap := flag.Int("queue", 64, "job queue capacity")
 	cacheMB := flag.Int("cache-mb", 256, "artifact cache bound in MiB")
+	storeDir := flag.String("store", "", "durable artifact store directory (empty = memory only); survives restarts and degrades instead of failing")
+	clientQuota := flag.Int("client-quota", 0, "max queued jobs per client (0 = a quarter of the queue)")
 	recorderCap := flag.Int("recorder", 64, "flight-recorder capacity (recent job traces kept for /debug/trace)")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
@@ -59,10 +63,28 @@ func main() {
 
 	metrics := service.NewMetrics()
 	cache := service.NewCache(int64(*cacheMB) << 20)
-	eng := service.NewEngine(cache, metrics)
+	var engOpts []service.EngineOption
+	if *storeDir != "" {
+		// An unusable store dir is not fatal: OpenDiskStore still
+		// returns a (pre-degraded) store, so the daemon serves from
+		// memory and compute while /metrics reports the condition.
+		ds, err := pipeline.OpenDiskStore(*storeDir, vipipe.DiskCodecs())
+		if err != nil {
+			logger.Error("store open failed, serving degraded", "dir", *storeDir, "error", err)
+		} else {
+			logger.Info("durable store open", "dir", ds.Dir())
+		}
+		engOpts = append(engOpts, service.WithDiskStore(ds))
+	}
+	eng := service.NewEngine(cache, metrics, engOpts...)
 	recorder := obs.NewRecorder(*recorderCap)
+	quota := *clientQuota
+	if quota <= 0 {
+		quota = max(1, *queueCap/4)
+	}
 	mgr := service.NewManager(eng, metrics, *workers, *queueCap,
-		service.WithRecorder(recorder), service.WithLogger(logger))
+		service.WithRecorder(recorder), service.WithLogger(logger),
+		service.WithClientQuota(quota))
 	var srvOpts []service.ServerOption
 	if *debug {
 		srvOpts = append(srvOpts, service.WithPprof())

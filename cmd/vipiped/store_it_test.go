@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the real binary once per test into its temp
+// dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vipiped")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running vipiped under test: its process, base URL, and
+// drained output streams.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *bytes.Buffer
+	rest   chan string
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &bytes.Buffer{}, rest: make(chan string, 1)}
+	d.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.cmd.Process.Kill() })
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no banner line; stderr: %s", d.stderr.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) < 4 || fields[1] != "listening" {
+		t.Fatalf("unexpected banner %q", sc.Text())
+	}
+	d.base = "http://" + fields[3]
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		d.rest <- strings.Join(lines, "\n")
+	}()
+	return d
+}
+
+// shutdown SIGTERMs the daemon and waits for a clean drain.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- d.cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v; stderr: %s", err, d.stderr.String())
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func (d *daemon) post(t *testing.T, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(d.base+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v; stderr: %s", err, d.stderr.String())
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, snap
+}
+
+// runJob submits a characterize request and waits for "done".
+func (d *daemon) runJob(t *testing.T, pos string, samples int) {
+	t.Helper()
+	body := `{"kind":"characterize","position":"` + pos + `","config":{"small":true,"seed":1,"mc_samples":` +
+		strAtoi(samples) + `,"vi_samples":24,"fir_samples":8,"fir_taps":4}}`
+	code, snap := d.post(t, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit %s = %d (%v)", pos, code, snap)
+	}
+	id, _ := snap["id"].(string)
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished", id)
+		}
+		sr, err := http.Get(d.base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		json.NewDecoder(sr.Body).Decode(&st)
+		sr.Body.Close()
+		switch st.State {
+		case "done":
+			return
+		case "failed", "cancelled":
+			t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// storeMetrics is the /metrics subset these tests assert on.
+type storeMetrics struct {
+	Degraded bool `json:"degraded"`
+	Store    struct {
+		Mode string `json:"mode"`
+		Disk *struct {
+			Hits        int64 `json:"hits"`
+			Writes      int64 `json:"writes"`
+			Quarantined int64 `json:"quarantined"`
+			Degraded    bool  `json:"degraded"`
+		} `json:"disk"`
+	} `json:"store"`
+}
+
+func (d *daemon) metrics(t *testing.T) storeMetrics {
+	t.Helper()
+	resp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m storeMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func strAtoi(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestDaemonCrashRecovery is the headline durability scenario: run a
+// daemon against a -store dir, kill -9 it mid-computation, corrupt one
+// surviving artifact for good measure, then restart over the same dir
+// and check the second daemon (a) serves the intact artifact from disk
+// without recomputing, (b) detects and quarantines the corrupted one
+// instead of serving it, and (c) finishes every request correctly.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	store := filepath.Join(t.TempDir(), "store")
+
+	d1 := startDaemon(t, bin, "-store", store, "-workers", "2")
+	d1.runJob(t, "A", 40)
+	d1.runJob(t, "B", 40)
+	m := d1.metrics(t)
+	if m.Store.Mode != "ok" || m.Store.Disk == nil || m.Store.Disk.Writes < 2 {
+		t.Fatalf("first daemon store metrics %+v; want ok with >=2 writes", m.Store)
+	}
+
+	// Leave a job mid-flight and pull the plug — no drain, no fsync of
+	// anything still buffered, exactly the crash the atomic-rename
+	// protocol is for.
+	code, _ := d1.post(t, `{"kind":"characterize","position":"C","config":{"small":true,"seed":1,"mc_samples":400000,"vi_samples":24,"fir_samples":8,"fir_taps":4}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("mid-flight submit = %d", code)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	// Bit-rot one surviving artifact (position B's characterization).
+	arts, err := filepath.Glob(filepath.Join(store, "objects", "*", "mc", "B.art"))
+	if err != nil || len(arts) != 1 {
+		t.Fatalf("glob mc/B artifact: %v %v", arts, err)
+	}
+	raw, err := os.ReadFile(arts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(arts[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := startDaemon(t, bin, "-store", store, "-workers", "2")
+	d2.runJob(t, "A", 40) // intact: served from disk
+	d2.runJob(t, "B", 40) // corrupted: quarantined and recomputed
+	m = d2.metrics(t)
+	if m.Degraded || m.Store.Mode != "ok" {
+		t.Fatalf("restarted daemon degraded=%v mode=%q; want healthy", m.Degraded, m.Store.Mode)
+	}
+	if m.Store.Disk.Hits < 1 {
+		t.Fatalf("restarted daemon disk hits = %d; want a warm read", m.Store.Disk.Hits)
+	}
+	if m.Store.Disk.Quarantined != 1 {
+		t.Fatalf("quarantined = %d; want exactly the corrupted artifact", m.Store.Disk.Quarantined)
+	}
+	q, err := filepath.Glob(filepath.Join(store, "quarantine", "*"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir %v (%v); want one file", q, err)
+	}
+	d2.shutdown(t)
+}
+
+// TestDaemonDegradedStore boots the daemon with an unusable -store
+// path: it must come up, answer jobs correctly, and report degraded on
+// /metrics rather than fail.
+func TestDaemonDegradedStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	occupied := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d := startDaemon(t, bin, "-store", filepath.Join(occupied, "store"))
+	d.runJob(t, "A", 40)
+	m := d.metrics(t)
+	if !m.Degraded || m.Store.Mode != "degraded" {
+		t.Fatalf("degraded=%v store.mode=%q; want degraded serving", m.Degraded, m.Store.Mode)
+	}
+	if m.Store.Disk == nil || !m.Store.Disk.Degraded {
+		t.Fatalf("store.disk = %+v; want degraded stats", m.Store.Disk)
+	}
+	d.shutdown(t)
+	// Only read stderr after Wait has joined the pipe copier.
+	if !strings.Contains(d.stderr.String(), "store open failed") {
+		t.Fatalf("stderr %q; want the degraded-store log line", d.stderr.String())
+	}
+}

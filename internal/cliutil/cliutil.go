@@ -19,6 +19,7 @@ import (
 	"vipipe"
 	"vipipe/internal/flowerr"
 	"vipipe/internal/obs"
+	"vipipe/internal/pipeline"
 	"vipipe/internal/variation"
 	"vipipe/internal/vi"
 )
@@ -36,6 +37,11 @@ type App struct {
 	Pos      string
 	Strategy string
 	Trace    string
+	StoreDir string
+
+	// disk memoizes the opened durable store so every flow the tool
+	// builds (vigen makes one per strategy) shares a single DiskStore.
+	disk *pipeline.DiskStore
 }
 
 // New returns an App for the named tool. No flags are registered yet.
@@ -118,6 +124,35 @@ func (a *App) Strategies() ([]vi.Strategy, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// StoreFlag registers -store, the durable artifact store directory
+// shared with vipiped: repeated runs over the same directory reuse
+// the expensive characterizations and power reports instead of
+// recomputing them.
+func (a *App) StoreFlag() {
+	flag.StringVar(&a.StoreDir, "store", "", "durable artifact store directory (reuses cached characterizations and power reports across runs)")
+}
+
+// NewFlow builds a flow, tiering the -store durable cache under a
+// fresh in-memory store when one was requested. The memory tier is
+// never shared between flows — the engine-state artifacts it holds
+// alias live netlists that shifter insertion mutates — while the disk
+// tier only carries pure data (vipipe.DiskCodecs) and is shared by
+// every flow of the run. A store directory that cannot be opened is a
+// fatal usage error for a batch tool; the daemon instead degrades.
+func (a *App) NewFlow(cfg vipipe.Config) *vipipe.Flow {
+	if a.StoreDir == "" {
+		return vipipe.New(cfg)
+	}
+	if a.disk == nil {
+		ds, err := pipeline.OpenDiskStore(a.StoreDir, vipipe.DiskCodecs())
+		if err != nil {
+			a.Fatal(err)
+		}
+		a.disk = ds
+	}
+	return vipipe.NewWithStore(cfg, pipeline.NewTiered(pipeline.NewMemStore(), a.disk))
 }
 
 // TraceFlag registers -trace, the shared tracing switch: a non-empty

@@ -74,6 +74,11 @@ func TestGoroutineCorpus(t *testing.T) {
 	checkGolden(t, "goroutine", "want.txt", got)
 }
 
+func TestFsConfineCorpus(t *testing.T) {
+	got := runCorpus(t, "fsconfine", Options{Rules: []Rule{fsConfineRule{}}})
+	checkGolden(t, "fsconfine", "want.txt", got)
+}
+
 // TestSuppressCorpus drives the directive handling end to end: a live
 // trailing suppression hides its finding, an unknown rule and a
 // missing reason are findings themselves (and suppress nothing, so

@@ -15,6 +15,7 @@ func DefaultRules() []Rule {
 		errTaxonomyRule{},
 		ctxFirstRule{},
 		goroutineRule{},
+		fsConfineRule{},
 	}
 }
 
@@ -557,6 +558,55 @@ func (goroutineRule) Check(f *File, report ReportFunc) {
 	ast.Inspect(f.AST, func(n ast.Node) bool {
 		if g, ok := n.(*ast.GoStmt); ok {
 			report(g.Pos(), "goroutine outside the sanctioned schedulers (%s): route concurrency through their pools", strings.Join(schedulerDirs, ", "))
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------- //
+
+// fsConfineRule confines direct filesystem IO in the compute scope to
+// the store layer: internal/pipeline/fs.go is the one file allowed to
+// call os file APIs, because everything durable must go through the
+// pipeline.FS seam — that is where crash-safety (tmp + fsync + atomic
+// rename), fault injection and the degraded-mode accounting live. An
+// os.WriteFile elsewhere in a compute package silently bypasses all
+// three.
+type fsConfineRule struct{}
+
+// fsConfineAllowed are the compute-scope files that implement the FS
+// seam itself.
+var fsConfineAllowed = map[string]bool{"internal/pipeline/fs.go": true}
+
+// osFSFuncs are the os package file APIs the rule confines.
+var osFSFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Chmod": true,
+	"Chtimes": true, "Truncate": true, "Link": true, "Symlink": true,
+}
+
+func (fsConfineRule) Name() string { return "fsconfine" }
+func (fsConfineRule) Doc() string {
+	return "filesystem IO in compute packages goes through the pipeline.FS store seam, not direct os calls"
+}
+
+func (fsConfineRule) Check(f *File, report ReportFunc) {
+	if !inComputeScope(f) || fsConfineAllowed[f.Rel] {
+		return
+	}
+	osName, ok := pkgName(f.AST, "os", "os")
+	if !ok {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := pkgCall(call, osName); ok && osFSFuncs[sel] {
+			report(call.Pos(), "os.%s in a compute package: route filesystem IO through pipeline.FS (internal/pipeline/fs.go) so it stays crash-safe, fault-injectable and degradation-aware", sel)
 		}
 		return true
 	})

@@ -1,0 +1,9 @@
+package main
+
+import "os"
+
+// cmds are outside the compute scope: tools legitimately write
+// reports and traces.
+func main() {
+	_ = os.WriteFile("out.json", nil, 0o644)
+}

@@ -1,0 +1,9 @@
+package pipeline
+
+import "os"
+
+// fs.go is the sanctioned FS implementation: direct os calls are the
+// point here.
+func readFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func rename(old, new string) error { return os.Rename(old, new) }

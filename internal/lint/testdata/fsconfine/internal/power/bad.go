@@ -1,0 +1,19 @@
+package power
+
+import "os"
+
+// Leak writes a report straight to disk from a compute package,
+// bypassing the store seam.
+func Leak(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	if _, err := os.Stat(path); err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

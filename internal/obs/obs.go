@@ -130,6 +130,18 @@ func WithTracer(ctx context.Context, t *Tracer) context.Context {
 	return context.WithValue(ctx, ctxKey{}, &Span{tr: t})
 }
 
+// Current returns the span riding the context — the innermost Start
+// not yet popped — or nil when untraced. Layers beneath an
+// instrumented operation (cache tiers under a graph node span) use it
+// to annotate the caller's span without threading *Span through APIs.
+func Current(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	if s == nil || s.tr == nil || s.id == 0 {
+		return nil // the WithTracer root carrier is not a real span
+	}
+	return s
+}
+
 // Enabled reports whether a tracer rides the context.
 func Enabled(ctx context.Context) bool {
 	s, _ := ctx.Value(ctxKey{}).(*Span)

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("artifact"), 1000)} {
+		data := frame(payload)
+		got, ok := unframe(data)
+		if !ok {
+			t.Fatalf("unframe rejected a clean frame of %d payload bytes", len(payload))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed the payload: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestUnframeRejectsCorruption(t *testing.T) {
+	clean := frame([]byte("the artifact payload"))
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          clean[:frameOverhead-1],
+		"bad magic":      append([]byte("notmagic"), clean[8:]...),
+		"truncated":      clean[:len(clean)-5],
+		"extended":       append(append([]byte{}, clean...), 0xAA),
+		"flipped bit":    flipByte(clean, len(frameMagic)+8+3),
+		"flipped footer": flipByte(clean, len(clean)-1),
+		"flipped length": flipByte(clean, len(frameMagic)+7),
+	}
+	for name, data := range cases {
+		if _, ok := unframe(data); ok {
+			t.Errorf("%s: unframe accepted corrupt data", name)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func TestDiskStorePathValidation(t *testing.T) {
+	s := &DiskStore{dir: "/store"}
+	for _, bad := range []string{"", "..", "a/../b", "a//b", "a/", "/a", "a b", "a\x00b", "café"} {
+		if p, err := s.path(bad); err == nil {
+			t.Errorf("key %q: accepted as %q, want rejection", bad, p)
+		}
+	}
+	for _, good := range []string{"a", "cfg-1/mc/A", "f00d/power/vertical/2/B", "x_1.2-3"} {
+		if _, err := s.path(good); err != nil {
+			t.Errorf("key %q: rejected: %v", good, err)
+		}
+	}
+}

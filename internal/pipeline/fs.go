@@ -1,0 +1,76 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the DiskStore runs on. It
+// exists so fault-injection tests (internal/faultinject.StoreFS) can
+// interpose torn writes, EIO, ENOSPC and slow-disk behavior under the
+// real store logic, and so the vipilint fsconfine rule can keep every
+// other compute package free of direct file IO.
+//
+// The contract mirrors what crash safety needs from a POSIX
+// filesystem: WriteFile must not report success before the bytes are
+// durable (create/truncate, write, fsync, close), and Rename must be
+// atomic with respect to concurrent readers of the destination path,
+// syncing the parent directory so the rename itself survives a crash.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadFile returns the full contents of path. A missing file is
+	// reported with an error matching os.ErrNotExist.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile durably creates or replaces path with data: the
+	// write is fsynced before a nil return.
+	WriteFile(path string, data []byte) error
+	// Rename atomically moves old onto new (replacing it) and syncs
+	// the parent directory of new.
+	Rename(old, new string) error
+	// Remove deletes path.
+	Remove(path string) error
+}
+
+// OSFS returns the real filesystem.
+func OSFS() FS { return osFS{} }
+
+// osFS is the production FS over package os.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) WriteFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (osFS) Rename(old, new string) error {
+	if err := os.Rename(old, new); err != nil {
+		return err
+	}
+	// Sync the destination directory so the rename itself is durable.
+	// Best-effort: a filesystem that cannot open directories still
+	// performed the atomic rename, which is the integrity-critical
+	// half.
+	if d, err := os.Open(filepath.Dir(new)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (osFS) Remove(path string) error { return os.Remove(path) }

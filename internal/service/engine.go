@@ -36,6 +36,12 @@ type Request struct {
 	// (scenario_power).
 	Scenario int `json:"scenario,omitempty"`
 
+	// Client identifies the submitter for per-client admission
+	// fairness (also settable via the X-Client header). Anonymous
+	// (empty) submissions are not quota-bounded; only the global
+	// queue limits them.
+	Client string `json:"client,omitempty"`
+
 	Config ConfigSpec `json:"config"`
 }
 
@@ -87,6 +93,8 @@ func (s ConfigSpec) ToConfig() vipipe.Config {
 // engine never runs the netlist-mutating InsertShifters step).
 type Engine struct {
 	cache *Cache
+	store pipeline.Store
+	disk  *pipeline.DiskStore
 	m     *Metrics
 
 	mu sync.Mutex
@@ -97,14 +105,46 @@ type Engine struct {
 	graphs map[string]*pipeline.Graph
 }
 
+// EngineOption configures optional engine layers.
+type EngineOption func(*Engine)
+
+// WithDiskStore tiers a durable artifact store under the in-memory
+// cache: graph reads fall through memory to disk before recomputing,
+// and fresh pure-data artifacts (characterizations, power reports,
+// the ladder, DRC — per vipipe.DiskCodecs) write through, so they
+// survive a daemon restart. The disk tier degrades, never fails: a
+// broken store dir only costs warm restarts.
+func WithDiskStore(ds *pipeline.DiskStore) EngineOption {
+	return func(e *Engine) {
+		if ds == nil {
+			return
+		}
+		e.disk = ds
+		e.store = pipeline.NewTiered(e.cache, ds)
+	}
+}
+
 // NewEngine returns an engine over the given cache and metrics
 // registry (metrics may be nil).
-func NewEngine(cache *Cache, m *Metrics) *Engine {
-	return &Engine{cache: cache, m: m, graphs: make(map[string]*pipeline.Graph)}
+func NewEngine(cache *Cache, m *Metrics, opts ...EngineOption) *Engine {
+	e := &Engine{cache: cache, store: cache, m: m, graphs: make(map[string]*pipeline.Graph)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Cache exposes the engine's cache (for stats).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// DiskStore exposes the disk tier wired in with WithDiskStore, or nil.
+func (e *Engine) DiskStore() *pipeline.DiskStore { return e.disk }
+
+// Degraded reports whether the durable store is currently
+// short-circuiting IO (always false without one): the daemon still
+// answers every request from memory and compute, but artifacts are
+// not persisting and /metrics + job snapshots surface the condition.
+func (e *Engine) Degraded() bool { return e.disk != nil && e.disk.Degraded() }
 
 // graph returns the memoized artifact graph for a config, with hooks
 // feeding the per-artifact latency histograms ("artifact.<node>") and
@@ -116,7 +156,7 @@ func (e *Engine) graph(cfg vipipe.Config) *pipeline.Graph {
 	if g, ok := e.graphs[hash]; ok {
 		return g
 	}
-	g := vipipe.NewGraph(cfg, e.cache, pipeline.WithHooks(pipeline.Hooks{
+	g := vipipe.NewGraph(cfg, e.store, pipeline.WithHooks(pipeline.Hooks{
 		OnCompute: func(id string, d time.Duration) { e.m.ObserveStep("artifact."+id, d) },
 		OnHit:     func(id string) { e.m.Inc("artifact_hits." + id) },
 	}))

@@ -56,6 +56,10 @@ type JobSnapshot struct {
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
+	// Degraded mirrors the durable store's health at snapshot time:
+	// results are still correct, but artifacts are not persisting.
+	// Stamped by the frontend (the job itself has no engine view).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the job's visible state.
@@ -115,6 +119,10 @@ type Manager struct {
 	nextID   int
 	draining bool
 	queue    chan *Job
+	// queuedBy counts queued (not yet dequeued) jobs per client for
+	// admission fairness; clientQuota bounds each count.
+	queuedBy    map[string]int
+	clientQuota int
 
 	wg sync.WaitGroup
 }
@@ -138,6 +146,20 @@ func WithLogger(l *slog.Logger) ManagerOption {
 	}
 }
 
+// WithClientQuota bounds how many jobs one client (Request.Client /
+// X-Client header; empty names share the anonymous bucket) may have
+// queued at once — per-client fairness, so a burst from one submitter
+// cannot occupy the whole queue. The default is the queue capacity,
+// i.e. no per-client bound; cmd/vipiped enables a quarter of the
+// queue via its -client-quota flag.
+func WithClientQuota(n int) ManagerOption {
+	return func(m *Manager) {
+		if n > 0 {
+			m.clientQuota = n
+		}
+	}
+}
+
 // NewManager sizes the pool. workers <= 0 defaults to 2; queueCap <= 0
 // defaults to 64.
 func NewManager(eng *Engine, m *Metrics, workers, queueCap int, opts ...ManagerOption) *Manager {
@@ -148,12 +170,14 @@ func NewManager(eng *Engine, m *Metrics, workers, queueCap int, opts ...ManagerO
 		queueCap = 64
 	}
 	mgr := &Manager{
-		eng:     eng,
-		m:       m,
-		workers: workers,
-		log:     slog.New(slog.NewTextHandler(io.Discard, nil)),
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, queueCap),
+		eng:         eng,
+		m:           m,
+		workers:     workers,
+		log:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, queueCap),
+		queuedBy:    make(map[string]int),
+		clientQuota: queueCap,
 	}
 	for _, opt := range opts {
 		opt(mgr)
@@ -183,9 +207,16 @@ var (
 	ErrDraining = fmt.Errorf("service: draining, not accepting jobs")
 	// ErrQueueFull rejects submissions when the queue is at capacity.
 	ErrQueueFull = fmt.Errorf("service: job queue full")
+	// ErrClientSaturated rejects a submission whose client already has
+	// its fair share of the queue; other clients can still submit.
+	ErrClientSaturated = fmt.Errorf("service: client queue quota reached")
 )
 
-// Submit validates and enqueues a request.
+// Submit validates and enqueues a request. Admission is two-tier:
+// the bounded queue is the global capacity limit (ErrQueueFull), and
+// the per-client quota keeps one bursty submitter from occupying it
+// all (ErrClientSaturated). Both map to HTTP 429 with a Retry-After;
+// each has its own /metrics counter.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := m.eng.Validate(req); err != nil {
 		m.m.JobsRejected.Add(1)
@@ -196,6 +227,15 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if m.draining {
 		m.m.JobsRejected.Add(1)
 		return nil, ErrDraining
+	}
+	// The quota only bounds identified clients: anonymous submissions
+	// are indistinguishable from each other, so they share the global
+	// queue bound instead of a fairness bucket.
+	if req.Client != "" && m.queuedBy[req.Client] >= m.clientQuota {
+		m.m.JobsRejected.Add(1)
+		m.m.JobsThrottled.Add(1)
+		return nil, fmt.Errorf("%w: client %q has %d jobs queued (quota %d)",
+			ErrClientSaturated, req.Client, m.queuedBy[req.Client], m.clientQuota)
 	}
 	m.nextID++
 	job := &Job{
@@ -210,14 +250,32 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	default:
 		m.nextID-- // never existed
 		m.m.JobsRejected.Add(1)
-		return nil, ErrQueueFull
+		m.m.JobsQueueFull.Add(1)
+		return nil, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, len(m.queue))
 	}
+	m.queuedBy[req.Client]++
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
 	m.m.JobsSubmitted.Add(1)
-	m.log.Info("job submitted", "job", job.ID, "kind", req.Kind, "queue_depth", len(m.queue))
+	m.log.Info("job submitted", "job", job.ID, "kind", req.Kind, "client", req.Client, "queue_depth", len(m.queue))
 	return job, nil
 }
+
+// RetryAfterSeconds estimates when a rejected submitter should try
+// again: the queue depth paced by the worker pool, clamped to [1,60]
+// seconds. Deliberately coarse — it sizes an HTTP Retry-After header,
+// not a scheduler.
+func (m *Manager) RetryAfterSeconds() int {
+	s := 1 + m.QueueDepth()/m.workers
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
+// Degraded reports whether the engine's durable store (if any) is in
+// degraded mode; surfaced on /metrics and every job snapshot.
+func (m *Manager) Degraded() bool { return m.eng.Degraded() }
 
 // Get returns a job by ID.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -270,6 +328,13 @@ func (m *Manager) Cancel(id string) (JobSnapshot, bool) {
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for job := range m.queue {
+		m.mu.Lock()
+		if m.queuedBy[job.Req.Client] <= 1 {
+			delete(m.queuedBy, job.Req.Client)
+		} else {
+			m.queuedBy[job.Req.Client]--
+		}
+		m.mu.Unlock()
 		job.mu.Lock()
 		if job.state != JobQueued { // cancelled while queued
 			job.mu.Unlock()
@@ -384,15 +449,18 @@ func (m *Manager) Drain(ctx context.Context) (DrainStats, error) {
 	case <-idle:
 		return stats(), nil
 	case <-ctx.Done():
+		// Cancel everything still open — including jobs that are only
+		// queued, or the workers would keep pulling them off the closed
+		// queue and run them to completion long past the deadline.
 		m.mu.Lock()
-		for _, job := range m.jobs {
-			job.mu.Lock()
-			if job.state == JobRunning {
-				job.cancel()
-			}
-			job.mu.Unlock()
+		ids := make([]string, 0, len(m.jobs))
+		for id := range m.jobs {
+			ids = append(ids, id)
 		}
 		m.mu.Unlock()
+		for _, id := range ids {
+			m.Cancel(id)
+		}
 		<-idle
 		return stats(), flowerr.Cancelledf("service: drain deadline expired, in-flight jobs cancelled: %w", ctx.Err())
 	}

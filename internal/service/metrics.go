@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vipipe/internal/obs"
+	"vipipe/internal/pipeline"
 )
 
 // Metrics is the service's stdlib-only metrics registry, published as
@@ -34,7 +35,13 @@ type Metrics struct {
 	JobsCompleted atomic.Int64
 	JobsFailed    atomic.Int64
 	JobsCancelled atomic.Int64
+	// JobsRejected counts every refused submission; JobsQueueFull and
+	// JobsThrottled break out the two backpressure causes (queue at
+	// capacity, per-client quota) so operators can tell overload from
+	// one noisy client.
 	JobsRejected  atomic.Int64
+	JobsQueueFull atomic.Int64
+	JobsThrottled atomic.Int64
 	WorkersBusy   atomic.Int64
 
 	mu       sync.Mutex
@@ -196,8 +203,10 @@ func formatBound(ms float64) string {
 // Snapshot is the full /metrics payload.
 type Snapshot struct {
 	UptimeS  float64                      `json:"uptime_s"`
+	Degraded bool                         `json:"degraded"`
 	Jobs     JobCounters                  `json:"jobs"`
 	Cache    CacheStatsView               `json:"cache"`
+	Store    StoreStatus                  `json:"store"`
 	Latency  map[string]HistogramSnapshot `json:"latency_ms"`
 	Counters map[string]int64             `json:"counters,omitempty"`
 }
@@ -209,9 +218,19 @@ type JobCounters struct {
 	Failed      int64 `json:"failed"`
 	Cancelled   int64 `json:"cancelled"`
 	Rejected    int64 `json:"rejected"`
+	QueueFull   int64 `json:"queue_full"`
+	Throttled   int64 `json:"throttled"`
 	QueueDepth  int   `json:"queue_depth"`
 	WorkersBusy int64 `json:"workers_busy"`
 	Workers     int   `json:"workers"`
+}
+
+// StoreStatus is the durable-store section of /metrics. Mode is "off"
+// (no -store dir), "ok", or "degraded" (IO short-circuited after
+// repeated failures; serving continues from memory and compute).
+type StoreStatus struct {
+	Mode string              `json:"mode"`
+	Disk *pipeline.DiskStats `json:"disk,omitempty"`
 }
 
 // CacheStatsView adds the derived hit rate to the raw cache stats.
@@ -231,8 +250,11 @@ func (m *Metrics) Snapshot(cache *Cache, mgr *Manager) Snapshot {
 			Failed:      m.JobsFailed.Load(),
 			Cancelled:   m.JobsCancelled.Load(),
 			Rejected:    m.JobsRejected.Load(),
+			QueueFull:   m.JobsQueueFull.Load(),
+			Throttled:   m.JobsThrottled.Load(),
 			WorkersBusy: m.WorkersBusy.Load(),
 		},
+		Store:   StoreStatus{Mode: "off"},
 		Latency: make(map[string]HistogramSnapshot),
 	}
 	if cache != nil {
@@ -242,6 +264,14 @@ func (m *Metrics) Snapshot(cache *Cache, mgr *Manager) Snapshot {
 	if mgr != nil {
 		s.Jobs.QueueDepth = mgr.QueueDepth()
 		s.Jobs.Workers = mgr.Workers()
+		if ds := mgr.eng.DiskStore(); ds != nil {
+			st := ds.Stats()
+			s.Store = StoreStatus{Mode: "ok", Disk: &st}
+			if st.Degraded {
+				s.Store.Mode = "degraded"
+			}
+		}
+		s.Degraded = mgr.Degraded()
 	}
 	m.mu.Lock()
 	for name, h := range m.hists {

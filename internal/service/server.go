@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"vipipe/internal/flowerr"
 	"vipipe/internal/obs"
@@ -30,7 +31,10 @@ import (
 // Failure classes map onto statuses via flowerr.HTTPStatus: bad input
 // 400, step order 409, cancelled 499, no-scenario and DRC 422, panics
 // and partial steps 500. Submission while draining is 503; a full
-// queue is 429.
+// queue or a client past its fairness quota is 429. The 429/503
+// rejections carry a Retry-After header paced by the queue depth.
+// When the durable store degrades, /metrics reports store.mode
+// "degraded" and every job snapshot carries "degraded": true.
 type Server struct {
 	mgr *Manager
 	m   *Metrics
@@ -94,6 +98,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error(), Class: flowerr.Class(err)})
 }
 
+// writeBackpressure is writeError plus a Retry-After header, for the
+// availability rejections (429 backpressure, 503 draining) where the
+// client's correct move is to come back, not to fix the request.
+func (s *Server) writeBackpressure(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfterSeconds()))
+	writeError(w, status, err)
+}
+
+// snapshot stamps the store health onto a job's snapshot, so clients
+// polling a job learn when results stopped persisting.
+func (s *Server) snapshot(job *Job) JobSnapshot {
+	snap := job.Snapshot()
+	snap.Degraded = s.mgr.Degraded()
+	return snap
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(r.Body)
@@ -102,24 +122,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, flowerr.BadInputf("service: bad request body: %v", err))
 		return
 	}
+	if req.Client == "" {
+		req.Client = r.Header.Get("X-Client")
+	}
 	job, err := s.mgr.Submit(req)
 	switch {
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.writeBackpressure(w, http.StatusServiceUnavailable, err)
 		return
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClientSaturated):
+		s.writeBackpressure(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
 		writeError(w, flowerr.HTTPStatus(err), err)
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+job.ID)
-	writeJSON(w, http.StatusAccepted, job.Snapshot())
+	writeJSON(w, http.StatusAccepted, s.snapshot(job))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.List())
+	list := s.mgr.List()
+	if s.mgr.Degraded() {
+		for i := range list {
+			list[i].Degraded = true
+		}
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
@@ -133,7 +162,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if job, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, job.Snapshot())
+		writeJSON(w, http.StatusOK, s.snapshot(job))
 	}
 }
 
@@ -157,6 +186,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, flowerr.BadInputf("service: no job %q", id))
 		return
 	}
+	snap.Degraded = s.mgr.Degraded()
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -1,0 +1,135 @@
+package vipipe
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vipipe/internal/drc"
+	"vipipe/internal/mc"
+	"vipipe/internal/netlist"
+	"vipipe/internal/power"
+	"vipipe/internal/stats"
+	"vipipe/internal/variation"
+)
+
+func TestDiskCodecsSelection(t *testing.T) {
+	codecs := DiskCodecs()
+	for _, node := range []string{NodeLadder, NodeDRC, "mc/A", "mc/D", "power/chipwide/A", "power/vertical/2/B"} {
+		if codecs(node) == nil {
+			t.Errorf("node %s: no codec, want persistable", node)
+		}
+	}
+	// Engine-state artifacts hold live netlists/analyzers and must
+	// never round-trip through disk.
+	for _, node := range []string{NodeSynth, NodePlace, NodeAnalyze, NodeWorkload, "vi/vertical", "vi/horizontal"} {
+		if codecs(node) != nil {
+			t.Errorf("node %s: has a codec, want memory-only", node)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, node string, v any) any {
+	t.Helper()
+	c := DiskCodecs()(node)
+	if c == nil {
+		t.Fatalf("no codec for %s", node)
+	}
+	data, err := c.Encode(v)
+	if err != nil {
+		t.Fatalf("encode %s: %v", node, err)
+	}
+	out, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("decode %s: %v", node, err)
+	}
+	return out
+}
+
+func TestMCResultRoundTrip(t *testing.T) {
+	in := &mc.Result{
+		Pos:       variation.Pos{Name: "A", XMM: 1.5, YMM: 2.5},
+		ClockPS:   1234.5,
+		Samples:   118,
+		Requested: 120,
+		Skipped:   []int{3, 77},
+		PerStage: map[netlist.Stage]*mc.StageDist{
+			1: {
+				Stage:    1,
+				SlackPS:  []float64{-1, 0, 2.5},
+				Fit:      stats.Normal{Mu: 0.5, Sigma: 1.25},
+				GOF:      stats.GOFResult{ChiSquare: 3.2, DOF: 5, PValue: 0.66, Accepted: true, Bins: 8},
+				KS:       stats.GOFResult{PValue: 0.4, Accepted: true},
+				ViolFrac: 0.33, ViolProb: 0.31, Endpoints: 42,
+			},
+			2: {Stage: 2, FitErr: errors.New("fit rejected: sigma collapsed")},
+		},
+		CritPS:             []float64{1200, 1250, 1300},
+		EndpointViolations: map[int]int{7: 3, 9: 1},
+		StageCriticals:     map[netlist.Stage]map[int]int{1: {7: 5}, 2: {9: 2}},
+	}
+	got := roundTrip(t, "mc/A", in).(*mc.Result)
+	if got.PerStage[2].FitErr == nil || got.PerStage[2].FitErr.Error() != "fit rejected: sigma collapsed" {
+		t.Fatalf("FitErr lost: %v", got.PerStage[2].FitErr)
+	}
+	if got.PerStage[1].FitErr != nil {
+		t.Fatalf("clean stage grew a FitErr: %v", got.PerStage[1].FitErr)
+	}
+	// Null the errors (compared above) and DeepEqual the rest.
+	in.PerStage[2].FitErr, got.PerStage[2].FitErr = nil, nil
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, got)
+	}
+}
+
+func TestPowerReportRoundTrip(t *testing.T) {
+	in := &power.Report{
+		FreqMHz:   450,
+		DynamicMW: 12.5,
+		LeakMW:    3.25,
+		ByUnit: []power.UnitPower{
+			{Unit: "alu", DynamicMW: 6, LeakMW: 1},
+			{Unit: "regfile", DynamicMW: 4, LeakMW: 0.5},
+		},
+		ShifterDynMW:  0.25,
+		ShifterLeakMW: 0.05,
+		ByDomain: [2]power.UnitPower{
+			{Unit: "low", DynamicMW: 5, LeakMW: 1.5},
+			{Unit: "high", DynamicMW: 7.5, LeakMW: 1.75},
+		},
+		CellLeakNW: []float64{1.5, 2.5, 3.5},
+	}
+	got := roundTrip(t, "power/chipwide/B", in).(*power.Report)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, got)
+	}
+}
+
+func TestLadderRoundTrip(t *testing.T) {
+	in := []variation.Pos{{Name: "C", XMM: 3, YMM: 3}, {Name: "B", XMM: 2, YMM: 2}, {Name: "A", XMM: 1, YMM: 1}}
+	got := roundTrip(t, NodeLadder, in).([]variation.Pos)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch: in=%v out=%v", in, got)
+	}
+}
+
+func TestDRCReportRoundTrip(t *testing.T) {
+	in := &drc.Report{
+		Violations: []drc.Violation{{Rule: "placement", Msg: "cell off grid"}},
+		Truncated:  2,
+	}
+	got := roundTrip(t, NodeDRC, in).(*drc.Report)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, got)
+	}
+}
+
+func TestCodecRejectsWrongType(t *testing.T) {
+	c := DiskCodecs()("mc/A")
+	if _, err := c.Encode(&power.Report{}); err == nil {
+		t.Fatal("mc codec encoded a power report")
+	}
+	if _, err := c.Decode([]byte("not gob")); err == nil {
+		t.Fatal("mc codec decoded garbage")
+	}
+}

@@ -186,6 +186,27 @@ func New(cfg Config) *Flow {
 	}
 }
 
+// NewWithStore is New over a caller-supplied artifact store, the hook
+// for durable caching: compose a fresh in-memory tier over a shared
+// pipeline.DiskStore (opened with DiskCodecs) and repeated runs of the
+// same Config skip straight to the persisted characterizations.
+//
+// The store must not be shared as a *memory* tier between flows: the
+// graph's engine-state artifacts (netlist, placement, analyzer) are
+// live objects, and InsertShifters mutates them in place. A DiskStore
+// is safe to share — DiskCodecs persists only immutable pure-data
+// artifacts — so the right composition is
+// pipeline.NewTiered(pipeline.NewMemStore(), shared) per flow, which
+// internal/cliutil.NewFlow does for the CLIs.
+func NewWithStore(cfg Config, store pipeline.Store) *Flow {
+	lib := cell.Default65nm()
+	return &Flow{
+		Cfg:   cfg,
+		Lib:   lib,
+		graph: newGraph(cfg, lib, store),
+	}
+}
+
 // Position returns the named chip position of the variation model, or
 // an error matching flowerr.ErrBadInput for a name the model does not
 // define.
