@@ -70,10 +70,10 @@ crash-it:
 # one-iteration ci variant: it proves the benchmark still compiles and
 # runs without paying measurement time.
 bench:
-	$(GO) test -json -run '^$$' -bench BenchmarkServiceScenarioSweep -benchmem . | tee BENCH_service.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep' -benchmem . | tee BENCH_service.json
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkServiceScenarioSweep -benchtime 1x .
+	$(GO) test -run 'TestFieldSweepWarmDirtySpeedup' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep' -benchtime 1x .
 
 ci: fmt vet lint build race test fault service-it crash-it bench-smoke
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"vipipe/internal/obs"
 	"vipipe/internal/service"
 )
 
@@ -51,4 +52,107 @@ func BenchmarkServiceScenarioSweep(b *testing.B) {
 		st := eng.Cache().Stats()
 		b.ReportMetric(st.HitRate(), "cache_hit_rate")
 	})
+}
+
+// BenchmarkFieldSweep sizes the exposure-field yield engine against
+// the four-position characterize baseline it generalizes: a 64x-denser
+// 8x8 sweep (field64/cold) must land well under 64x the baseline's
+// wall clock — the shard kernel skips the per-stage bookkeeping mc.Run
+// carries — and a warm re-sweep after one overlay edit
+// (field64/warm_dirty) touches a single position's shards, so it runs
+// orders of magnitude under cold. The counters metric reports shards
+// actually computed per iteration.
+func BenchmarkFieldSweep(b *testing.B) {
+	spec := service.ConfigSpec{
+		Small: true, Seed: 1,
+		MCSamples: 60, VISamples: 24, FIRSamples: 8, FIRTaps: 4,
+	}
+	ctx := context.Background()
+
+	b.Run("four_pos/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := service.NewEngine(service.NewCache(64<<20), nil)
+			for _, pos := range []string{"A", "B", "C", "D"} {
+				req := service.Request{Kind: "characterize", Position: pos, Config: spec}
+				if _, err := eng.Run(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	req := service.Request{Kind: "field_sweep", Grid: "8x8", Shards: 4, Points: 17, Config: spec}
+
+	b.Run("field64/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := service.NewMetrics()
+			eng := service.NewEngine(service.NewCache(64<<20), m)
+			if _, err := eng.Run(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(m.Snapshot(nil, nil).Counters["yield.shards_computed"]), "shards/op")
+			}
+		}
+	})
+
+	b.Run("field64/warm_dirty", func(b *testing.B) {
+		m := service.NewMetrics()
+		eng := service.NewEngine(service.NewCache(256<<20), m)
+		if _, err := eng.Run(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		cold := m.Snapshot(nil, nil).Counters["yield.shards_computed"]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dirty := req
+			// A fresh delta each iteration re-keys the position's
+			// shards, so every iteration pays the one-position
+			// recompute instead of a full cache hit.
+			dirty.Overlays = []service.OverlaySpec{{
+				Pos: "r3c4", XMM: 5, YMM: 5, RMM: 3,
+				DeltaFrac: 0.01 + 0.0005*float64(i),
+			}}
+			if _, err := eng.Run(ctx, dirty); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		total := m.Snapshot(nil, nil).Counters["yield.shards_computed"]
+		b.ReportMetric(float64(total-cold)/float64(b.N), "shards/op")
+	})
+}
+
+// TestFieldSweepWarmDirtySpeedup is the bench-smoke gate for the warm
+// path: a re-sweep that dirties one of sixteen positions must run at
+// least 5x faster than the cold sweep (the real ratio is far higher —
+// one position's shards against sixteen positions plus the baseline
+// build). A regression here means shard keys stopped isolating plan
+// edits and the warm path went cold.
+func TestFieldSweepWarmDirtySpeedup(t *testing.T) {
+	spec := service.ConfigSpec{
+		Small: true, Seed: 1,
+		MCSamples: 60, VISamples: 24, FIRSamples: 8, FIRTaps: 4,
+	}
+	req := service.Request{Kind: "field_sweep", Grid: "4x4", Shards: 4, Points: 9, Config: spec}
+	ctx := context.Background()
+	eng := service.NewEngine(service.NewCache(128<<20), nil)
+
+	t0 := obs.Now()
+	if _, err := eng.Run(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	cold := obs.Since(t0)
+
+	dirty := req
+	dirty.Overlays = []service.OverlaySpec{{Pos: "r1c1", XMM: 2, YMM: 2, RMM: 3, DeltaFrac: 0.03}}
+	t1 := obs.Now()
+	if _, err := eng.Run(ctx, dirty); err != nil {
+		t.Fatal(err)
+	}
+	warm := obs.Since(t1)
+
+	if cold < 5*warm {
+		t.Fatalf("warm-dirty re-sweep %v not ≥5x faster than cold %v", warm, cold)
+	}
 }

@@ -1,0 +1,152 @@
+// Command viyield runs an exposure-field yield sweep: Monte Carlo SSTA
+// over a dense NXxNY grid of chip positions, sharded into mergeable
+// per-position statistics and folded into a yield surface (parametric
+// yield versus clock period at every position). With -store the shard
+// artifacts persist, so a re-sweep after editing one overlay recomputes
+// only the shards of the position it touches.
+//
+// Usage:
+//
+//	viyield -grid 16x16 -samples 2000 -shards 8 -store .cache
+//	viyield -grid 8x8 -overlay "r3c4:5,5,3,0.04" -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vipipe"
+	"vipipe/internal/cliutil"
+	"vipipe/internal/flowerr"
+	"vipipe/internal/service/wire"
+	"vipipe/internal/yield"
+)
+
+var app = cliutil.New("viyield")
+
+func fatal(err error) { app.Fatal(err) }
+
+// overlays collects repeated -overlay flags, each "pos:x,y,r,delta":
+// a disc (chip-local mm) at a grid position whose cells get an Lgate
+// delta of the given fraction of nominal.
+var overlays []yield.PosOverlay
+
+func parseOverlay(s string) error {
+	name, rest, ok := strings.Cut(s, ":")
+	parts := strings.Split(rest, ",")
+	if !ok || name == "" || len(parts) != 4 {
+		return flowerr.BadInputf("overlay %q not of the form pos:x,y,r,delta", s)
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return flowerr.BadInputf("overlay %q: bad number %q", s, p)
+		}
+		vals[i] = v
+	}
+	overlays = append(overlays, yield.PosOverlay{
+		Pos: name, XMM: vals[0], YMM: vals[1], RMM: vals[2], DeltaFrac: vals[3],
+	})
+	return nil
+}
+
+func main() {
+	app.ConfigFlags(false)
+	app.SamplesFlag()
+	app.JSONFlag()
+	app.TraceFlag()
+	app.StoreFlag()
+	app.GridFlag("8x8")
+	app.ShardsFlag(4)
+	app.PointsFlag(33)
+	flag.Func("overlay", `local Lgate disturbance "pos:x,y,r,delta" (repeatable; mm, fraction of nominal)`, parseOverlay)
+	flag.Parse()
+
+	ctx, stop := app.Context()
+	defer stop()
+	ctx, finishTrace := app.StartTrace(ctx)
+
+	cfg := app.Config()
+	g, err := yield.ParseGrid(app.Grid)
+	if err != nil {
+		fatal(err)
+	}
+	plan := yield.Plan{
+		Grid:     g,
+		Overlays: overlays,
+		Samples:  cfg.MCSamples,
+		Shards:   app.Shards,
+		Seed:     cfg.Seed,
+		Axis:     yield.CurveAxis{Points: app.Points},
+	}
+
+	surf, err := vipipe.RunYield(ctx, cfg, plan, app.NewStore())
+	if err != nil {
+		fatal(err)
+	}
+	if err := finishTrace(); err != nil {
+		fatal(err)
+	}
+
+	if app.JSON {
+		if err := wire.Encode(os.Stdout, wire.FromSurface(surf)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printSurface(surf, plan)
+}
+
+// printSurface renders the text report: the sweep shape, a yield map
+// at the flow clock (row NY-1 on top so the page reads like the
+// exposure field, y up), and the field's best and worst positions.
+func printSurface(s *yield.Surface, plan yield.Plan) {
+	fmt.Printf("field %dx%d, %d samples x %d shards per position, clock %.0fps\n",
+		s.NX, s.NY, plan.Samples, plan.Shards, s.ClockPS)
+
+	pi := s.NearestPeriod(s.ClockPS)
+	fmt.Printf("\nyield at %.0fps (%% of dies meeting the clock; * = overlay):\n", s.PeriodsPS[pi])
+	for j := s.NY - 1; j >= 0; j-- {
+		fmt.Printf("  r%-2d", j)
+		for i := 0; i < s.NX; i++ {
+			p := s.Positions[j*s.NX+i]
+			y := p.Yields[pi]
+			if p.HasOverlay {
+				y = p.OvYields[pi]
+			}
+			mark := ' '
+			if p.HasOverlay {
+				mark = '*'
+			}
+			fmt.Printf(" %3.0f%c", 100*y, mark)
+		}
+		fmt.Println()
+	}
+
+	best, worst := 0, 0
+	for k := range s.Positions {
+		if s.Positions[k].Yields[pi] > s.Positions[best].Yields[pi] {
+			best = k
+		}
+		if s.Positions[k].Yields[pi] < s.Positions[worst].Yields[pi] {
+			worst = k
+		}
+	}
+	b, w := s.Positions[best], s.Positions[worst]
+	fmt.Printf("\nbest  %s (%.1f, %.1f)mm: yield %.3f, crit mu=%.0fps sigma=%.0fps\n",
+		b.Name, b.XMM, b.YMM, b.Yields[pi], b.MeanPS, b.StdPS)
+	fmt.Printf("worst %s (%.1f, %.1f)mm: yield %.3f, crit mu=%.0fps sigma=%.0fps\n",
+		w.Name, w.XMM, w.YMM, w.Yields[pi], w.MeanPS, w.StdPS)
+	for _, ov := range plan.Overlays {
+		p, ok := s.At(ov.Pos)
+		if !ok || !p.HasOverlay {
+			continue
+		}
+		fmt.Printf("overlay %s (+%.1f%% Lgate, r=%.1fmm): yield %.3f -> %.3f\n",
+			ov.Pos, 100*ov.DeltaFrac, ov.RMM, p.Yields[pi], p.OvYields[pi])
+	}
+}

@@ -290,3 +290,20 @@ func TestRazorCostlierThanDFF(t *testing.T) {
 		t.Error("Razor FF must cost more than a plain DFF")
 	}
 }
+
+// TestDelayScalerBitIdentical locks the fast-path contract: the
+// hoisted-denominator scaler must reproduce DelayScale bit for bit
+// across the realistic Lgate range at both supplies.
+func TestDelayScalerBitIdentical(t *testing.T) {
+	tech := DefaultTech()
+	for _, vdd := range []float64{tech.VddLow, tech.VddHigh} {
+		scaler := tech.DelayScaler(vdd)
+		for lg := 55.0; lg <= 75.0; lg += 0.0625 {
+			want := tech.DelayScale(vdd, lg)
+			got := scaler(lg)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("vdd=%g lg=%g: scaler %v != DelayScale %v", vdd, lg, got, want)
+			}
+		}
+	}
+}

@@ -94,6 +94,21 @@ func (t *Tech) DelayScale(vdd, lgateNM float64) float64 {
 	return math.Pow(lr, 1.5) * t.alphaPower(vdd, lgateNM) / t.alphaPower(t.VddLow, t.LgateNM)
 }
 
+// DelayScaler returns DelayScale at a fixed supply with the nominal
+// normalization factor hoisted out of the per-gate call. The returned
+// function computes the identical expression on identical operands in
+// the same order — ((lr^1.5 * AP(vdd,L)) / AP(VddLow,Lnom)) — so its
+// results match DelayScale bit-for-bit while halving the
+// transcendental count; Monte Carlo sample loops evaluate it per cell
+// per sample.
+func (t *Tech) DelayScaler(vdd float64) func(lgateNM float64) float64 {
+	denom := t.alphaPower(t.VddLow, t.LgateNM)
+	return func(lgateNM float64) float64 {
+		lr := lgateNM / t.LgateNM
+		return math.Pow(lr, 1.5) * t.alphaPower(vdd, lgateNM) / denom
+	}
+}
+
 // SpeedupHighVdd returns the delay ratio D(VddHigh)/D(VddLow) at
 // nominal gate length: the performance boost bought by switching a
 // cell to the high-Vdd domain.

@@ -38,6 +38,9 @@ type App struct {
 	Strategy string
 	Trace    string
 	StoreDir string
+	Grid     string
+	Shards   int
+	Points   int
 
 	// disk memoizes the opened durable store so every flow the tool
 	// builds (vigen makes one per strategy) shares a single DiskStore.
@@ -126,6 +129,21 @@ func (a *App) Strategies() ([]vi.Strategy, error) {
 	return out, nil
 }
 
+// GridFlag registers -grid, the exposure-field lattice ("NXxNY").
+func (a *App) GridFlag(def string) {
+	flag.StringVar(&a.Grid, "grid", def, "exposure-field grid as NXxNY chip positions")
+}
+
+// ShardsFlag registers -shards, the shard-artifact count per position.
+func (a *App) ShardsFlag(def int) {
+	flag.IntVar(&a.Shards, "shards", def, "Monte Carlo shard artifacts per grid position")
+}
+
+// PointsFlag registers -points, the yield-curve period axis length.
+func (a *App) PointsFlag(def int) {
+	flag.IntVar(&a.Points, "points", def, "clock periods on the yield-curve axis")
+}
+
 // StoreFlag registers -store, the durable artifact store directory
 // shared with vipiped: repeated runs over the same directory reuse
 // the expensive characterizations and power reports instead of
@@ -153,6 +171,25 @@ func (a *App) NewFlow(cfg vipipe.Config) *vipipe.Flow {
 		a.disk = ds
 	}
 	return vipipe.NewWithStore(cfg, pipeline.NewTiered(pipeline.NewMemStore(), a.disk))
+}
+
+// NewStore builds the artifact store for tools that drive graphs
+// directly instead of through a Flow (viyield): a fresh memory tier,
+// with the -store durable cache tiered under it when one was
+// requested. The same open-failure policy as NewFlow applies.
+func (a *App) NewStore() pipeline.Store {
+	mem := pipeline.NewMemStore()
+	if a.StoreDir == "" {
+		return mem
+	}
+	if a.disk == nil {
+		ds, err := pipeline.OpenDiskStore(a.StoreDir, vipipe.DiskCodecs())
+		if err != nil {
+			a.Fatal(err)
+		}
+		a.disk = ds
+	}
+	return pipeline.NewTiered(mem, a.disk)
 }
 
 // TraceFlag registers -trace, the shared tracing switch: a non-empty

@@ -1,0 +1,11 @@
+// Package yield is a lint fixture: shard seeding through the global
+// rand, which would make shard artifacts irreproducible.
+package yield
+
+import "math/rand"
+
+// ShardSeed draws a shard's seed from process-global state — the
+// determinism rule must flag it.
+func ShardSeed(shard int) int64 {
+	return rand.Int63() + int64(shard)
+}

@@ -1,0 +1,11 @@
+package yield
+
+import "math/rand"
+
+// SampleStream derives a shard's stream the sanctioned way: from the
+// plan seed and the global sample index, so any shard grouping
+// replays identical draws (the real package routes this through
+// stats.DeriveStream).
+func SampleStream(seed int64, sample int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(sample)*0x9e3779b9))
+}

@@ -428,9 +428,15 @@ func (r *Result) Yield(clockPS float64) float64 {
 
 // YieldCurve evaluates Yield over n equally spaced clock periods
 // between loPS and hiPS, returning parallel period and yield slices.
+// Inverted bounds swap; a degenerate request (n <= 1 or loPS == hiPS)
+// returns the single point at loPS rather than dividing the empty
+// interval.
 func (r *Result) YieldCurve(loPS, hiPS float64, n int) (periods, yields []float64) {
-	if n < 2 {
-		n = 2
+	if loPS > hiPS {
+		loPS, hiPS = hiPS, loPS
+	}
+	if n <= 1 || loPS == hiPS {
+		return []float64{loPS}, []float64{r.Yield(loPS)}
 	}
 	periods = make([]float64, n)
 	yields = make([]float64, n)

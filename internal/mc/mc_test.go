@@ -409,3 +409,38 @@ func TestRunWorkerPanicWithinToleranceSkips(t *testing.T) {
 		}
 	}
 }
+
+// TestYieldCurveEdgeCases pins the degenerate-request contract the
+// yield-surface axis (yield.CurveAxis.Normalize) mirrors: inverted
+// bounds swap, and a single-point or empty axis collapses to one
+// sample at the low edge instead of dividing the empty interval.
+func TestYieldCurveEdgeCases(t *testing.T) {
+	r := &Result{CritPS: []float64{3900, 4000, 4100, 4300}}
+
+	for _, n := range []int{-3, 0, 1} {
+		p, y := r.YieldCurve(4000, 4200, n)
+		if len(p) != 1 || len(y) != 1 || p[0] != 4000 || y[0] != 0.5 {
+			t.Fatalf("n=%d: curve = %v/%v; want single point (4000, 0.5)", n, p, y)
+		}
+	}
+
+	// Equal bounds: one point regardless of the requested count.
+	p, y := r.YieldCurve(4100, 4100, 16)
+	if len(p) != 1 || p[0] != 4100 || y[0] != 0.75 {
+		t.Fatalf("degenerate interval: curve = %v/%v; want (4100, 0.75)", p, y)
+	}
+
+	// Inverted bounds swap; the curve still runs low to high.
+	p, y = r.YieldCurve(4200, 3800, 5)
+	if len(p) != 5 || p[0] != 3800 || p[4] != 4200 {
+		t.Fatalf("swapped bounds: periods = %v; want 3800..4200", p)
+	}
+	for i := 1; i < len(y); i++ {
+		if y[i] < y[i-1] {
+			t.Fatalf("yield curve not monotonic: %v", y)
+		}
+	}
+	if y[4] != 0.75 {
+		t.Fatalf("yield at 4200 = %g; want 0.75", y[4])
+	}
+}

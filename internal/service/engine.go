@@ -15,6 +15,7 @@ import (
 	"vipipe/internal/service/wire"
 	"vipipe/internal/variation"
 	"vipipe/internal/vi"
+	"vipipe/internal/yield"
 )
 
 // Request is one analysis query against the service. Kind selects the
@@ -24,7 +25,7 @@ import (
 // share one baseline no matter how they interleave.
 type Request struct {
 	// Kind: "characterize", "islands", "scenario_power",
-	// "chipwide_power", "sweep" or "drc".
+	// "chipwide_power", "sweep", "field_sweep" or "drc".
 	Kind string `json:"kind"`
 	// Position names a chip position A-D (characterize,
 	// scenario_power, chipwide_power).
@@ -36,6 +37,19 @@ type Request struct {
 	// (scenario_power).
 	Scenario int `json:"scenario,omitempty"`
 
+	// Grid is the "NXxNY" exposure-field lattice (field_sweep;
+	// default "8x8").
+	Grid string `json:"grid,omitempty"`
+	// Shards cuts each position's Monte Carlo samples into that many
+	// independently cached shard artifacts (field_sweep; default 4).
+	Shards int `json:"shards,omitempty"`
+	// Points sets the yield-curve period-axis resolution
+	// (field_sweep; default 33).
+	Points int `json:"points,omitempty"`
+	// Overlays lists local Lgate disturbances, at most one per grid
+	// position (field_sweep).
+	Overlays []OverlaySpec `json:"overlays,omitempty"`
+
 	// Client identifies the submitter for per-client admission
 	// fairness (also settable via the X-Client header). Anonymous
 	// (empty) submissions are not quota-bounded; only the global
@@ -43,6 +57,16 @@ type Request struct {
 	Client string `json:"client,omitempty"`
 
 	Config ConfigSpec `json:"config"`
+}
+
+// OverlaySpec is the wire form of a yield.PosOverlay: a disc of extra
+// gate length at one field position, the knob a warm re-sweep turns.
+type OverlaySpec struct {
+	Pos       string  `json:"pos"`
+	XMM       float64 `json:"x_mm"`
+	YMM       float64 `json:"y_mm"`
+	RMM       float64 `json:"r_mm"`
+	DeltaFrac float64 `json:"delta_frac"`
 }
 
 // ConfigSpec is the wire form of a flow configuration: a base profile
@@ -186,11 +210,54 @@ func (e *Engine) Validate(req Request) error {
 		}
 		_, err := parsePos(req.Config.ToConfig(), req.Position)
 		return err
+	case "field_sweep":
+		_, err := fieldPlan(req, req.Config.ToConfig())
+		return err
 	case "drc":
 		return nil
 	default:
 		return flowerr.BadInputf("service: unknown request kind %q", req.Kind)
 	}
+}
+
+// fieldPlan resolves a field_sweep request into a validated yield
+// plan: grid and shard defaults filled, sampling shape taken from the
+// flow config so the shard artifacts share the characterizations'
+// sample budget and seed.
+func fieldPlan(req Request, cfg vipipe.Config) (yield.Plan, error) {
+	gs := req.Grid
+	if gs == "" {
+		gs = "8x8"
+	}
+	g, err := yield.ParseGrid(gs)
+	if err != nil {
+		return yield.Plan{}, err
+	}
+	shards := req.Shards
+	if shards <= 0 {
+		shards = 4
+	}
+	plan := yield.Plan{
+		Grid:    g,
+		Samples: cfg.MCSamples,
+		Shards:  shards,
+		Seed:    cfg.Seed,
+		Axis:    yield.CurveAxis{Points: req.Points},
+	}
+	for _, ov := range req.Overlays {
+		plan.Overlays = append(plan.Overlays, yield.PosOverlay{
+			Pos: ov.Pos, XMM: ov.XMM, YMM: ov.YMM, RMM: ov.RMM, DeltaFrac: ov.DeltaFrac,
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		return yield.Plan{}, err
+	}
+	// Resolve once here so a bad overlay position rejects at submit
+	// time, not in a worker.
+	if _, err := plan.ResolvePositions(&cfg.Model); err != nil {
+		return yield.Plan{}, err
+	}
+	return plan, nil
 }
 
 // Run executes one request and returns its wire-typed result:
@@ -237,6 +304,8 @@ func (e *Engine) Run(ctx context.Context, req Request) (any, error) {
 	case "sweep":
 		strat, _ := parseStrategy(req.Strategy)
 		return e.sweep(ctx, cfg, g, strat)
+	case "field_sweep":
+		return e.fieldSweep(ctx, cfg, req)
 	case "drc":
 		v, err := g.RequestOne(ctx, vipipe.NodeDRC)
 		if err != nil {
@@ -307,6 +376,72 @@ func (e *Engine) sweep(ctx context.Context, cfg vipipe.Config, g *pipeline.Graph
 		out.Entries = append(out.Entries, entry)
 	}
 	return out, nil
+}
+
+// fieldSweep runs the yield-surface query. Unlike the other kinds it
+// builds a per-request graph: the field/* nodes are keyed by the
+// plan's content hashes, not just the config hash. Construction is a
+// few closures per shard; the store still deduplicates the artifacts,
+// so two requests with the same plan share every shard, and a request
+// differing at one position recomputes only that position's shards.
+// Hook wiring feeds /metrics (computed vs cache-hit shard counters,
+// aggregate shard latency) and the job-snapshot progress sink.
+func (e *Engine) fieldSweep(ctx context.Context, cfg vipipe.Config, req Request) (wire.Surface, error) {
+	plan, err := fieldPlan(req, cfg)
+	if err != nil {
+		return wire.Surface{}, err
+	}
+	total := plan.NumShards()
+	var mu sync.Mutex
+	done := 0
+	bump := func(cached bool) {
+		if cached {
+			e.m.Inc("yield.shards_cached")
+		} else {
+			e.m.Inc("yield.shards_computed")
+		}
+		mu.Lock()
+		done++
+		d := done
+		mu.Unlock()
+		reportProgress(ctx, d, total)
+	}
+	// Shard metrics aggregate under one name — per-shard keys would
+	// grow the registry with every distinct plan.
+	metricName := func(id string) string {
+		switch {
+		case strings.HasPrefix(id, "field/surface/"):
+			return "field_surface"
+		case strings.HasPrefix(id, "field/"):
+			return "field_shard"
+		default:
+			return id
+		}
+	}
+	hooks := pipeline.WithHooks(pipeline.Hooks{
+		OnCompute: func(id string, dur time.Duration) {
+			e.m.ObserveStep("artifact."+metricName(id), dur)
+			if metricName(id) == "field_shard" {
+				bump(false)
+			}
+		},
+		OnHit: func(id string) {
+			e.m.Inc("artifact_hits." + metricName(id))
+			if metricName(id) == "field_shard" {
+				bump(true)
+			}
+		},
+	})
+	reportProgress(ctx, 0, total)
+	g, surfaceID, err := vipipe.NewYieldGraph(cfg, plan, e.store, hooks)
+	if err != nil {
+		return wire.Surface{}, err
+	}
+	v, err := g.RequestOne(ctx, surfaceID)
+	if err != nil {
+		return wire.Surface{}, err
+	}
+	return wire.FromSurface(v.(*yield.Surface)), nil
 }
 
 func parsePos(cfg vipipe.Config, name string) (variation.Pos, error) {

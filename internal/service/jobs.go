@@ -42,8 +42,17 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	cancel   context.CancelFunc
+	progress *Progress
 
 	done chan struct{}
+}
+
+// setProgress records a completion update; the worker threads it into
+// the request context via WithProgress.
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.progress = &Progress{Done: done, Total: total}
+	j.mu.Unlock()
 }
 
 // Snapshot is the frontend view of a job.
@@ -60,6 +69,9 @@ type JobSnapshot struct {
 	// results are still correct, but artifacts are not persisting.
 	// Stamped by the frontend (the job itself has no engine view).
 	Degraded bool `json:"degraded,omitempty"`
+	// Progress reports shard completion for field sweeps, nil for
+	// kinds that do not report it.
+	Progress *Progress `json:"progress,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the job's visible state.
@@ -77,6 +89,10 @@ func (j *Job) Snapshot() JobSnapshot {
 	if j.err != nil {
 		s.Error = j.err.Error()
 		s.Class = flowerr.Class(j.err)
+	}
+	if j.progress != nil {
+		p := *j.progress
+		s.Progress = &p
 	}
 	return s
 }
@@ -352,6 +368,7 @@ func (m *Manager) worker() {
 		tr := obs.NewTracer(job.ID, job.Req.Kind)
 		ctx = obs.WithTracer(ctx, tr)
 		ctx, root := obs.Start(ctx, "job."+job.Req.Kind)
+		ctx = WithProgress(ctx, job.setProgress)
 
 		m.m.WorkersBusy.Add(1)
 		res, err := m.eng.Run(ctx, job.Req)

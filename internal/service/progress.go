@@ -1,0 +1,30 @@
+package service
+
+import "context"
+
+// Progress is a running job's coarse completion state: for a field
+// sweep, shard artifacts resolved (computed or cache-hit) over the
+// plan's total. Other kinds leave it unset.
+type Progress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// ProgressFunc receives completion updates from a running request.
+type ProgressFunc func(done, total int)
+
+type progressKey struct{}
+
+// WithProgress attaches a progress sink to a request context. The
+// worker wires each job's snapshot updater in before Engine.Run, so
+// long sweeps report shard counts on /jobs while still running.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// reportProgress delivers an update to the context's sink, if any.
+func reportProgress(ctx context.Context, done, total int) {
+	if fn, ok := ctx.Value(progressKey{}).(ProgressFunc); ok && fn != nil {
+		fn(done, total)
+	}
+}

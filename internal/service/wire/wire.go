@@ -19,6 +19,7 @@ import (
 	"vipipe/internal/netlist"
 	"vipipe/internal/power"
 	"vipipe/internal/vi"
+	"vipipe/internal/yield"
 )
 
 // Encode writes v as indented JSON, the canonical rendering of every
@@ -227,4 +228,71 @@ type SweepEntry struct {
 type Sweep struct {
 	Strategy string       `json:"strategy"`
 	Entries  []SweepEntry `json:"entries"`
+}
+
+// YieldPoint is one exposure-field position of a yield surface.
+type YieldPoint struct {
+	Position string  `json:"position"`
+	XMM      float64 `json:"x_mm"`
+	YMM      float64 `json:"y_mm"`
+	Key      string  `json:"key"`
+	Samples  int64   `json:"samples"`
+	Shards   int     `json:"shards"`
+	MeanPS   float64 `json:"mean_ps"`
+	StdPS    float64 `json:"std_ps"`
+	MinPS    float64 `json:"min_ps"`
+	MaxPS    float64 `json:"max_ps"`
+	// Yields[i] is the yield at PeriodsPS[i] of the enclosing surface.
+	Yields []float64 `json:"yields"`
+	// Overlay statistics, present when the plan disturbed the position.
+	HasOverlay bool      `json:"has_overlay,omitempty"`
+	OvMeanPS   float64   `json:"ov_mean_ps,omitempty"`
+	OvStdPS    float64   `json:"ov_std_ps,omitempty"`
+	OvMinPS    float64   `json:"ov_min_ps,omitempty"`
+	OvMaxPS    float64   `json:"ov_max_ps,omitempty"`
+	OvYields   []float64 `json:"ov_yields,omitempty"`
+}
+
+// Surface is the wire form of a field-sweep yield surface: per-position
+// yield-vs-period curves on a shared axis, in row-major grid order.
+type Surface struct {
+	PlanHash  string       `json:"plan_hash"`
+	ClockPS   float64      `json:"clock_ps"`
+	NX        int          `json:"nx,omitempty"`
+	NY        int          `json:"ny,omitempty"`
+	PeriodsPS []float64    `json:"periods_ps"`
+	Positions []YieldPoint `json:"positions"`
+}
+
+// FromSurface converts an engine yield surface.
+func FromSurface(s *yield.Surface) Surface {
+	out := Surface{
+		PlanHash:  s.PlanHash,
+		ClockPS:   s.ClockPS,
+		NX:        s.NX,
+		NY:        s.NY,
+		PeriodsPS: append([]float64(nil), s.PeriodsPS...),
+	}
+	for _, p := range s.Positions {
+		out.Positions = append(out.Positions, YieldPoint{
+			Position:   p.Name,
+			XMM:        p.XMM,
+			YMM:        p.YMM,
+			Key:        p.Key,
+			Samples:    p.Samples,
+			Shards:     p.Shards,
+			MeanPS:     p.MeanPS,
+			StdPS:      p.StdPS,
+			MinPS:      p.MinPS,
+			MaxPS:      p.MaxPS,
+			Yields:     append([]float64(nil), p.Yields...),
+			HasOverlay: p.HasOverlay,
+			OvMeanPS:   p.OvMeanPS,
+			OvStdPS:    p.OvStdPS,
+			OvMinPS:    p.OvMinPS,
+			OvMaxPS:    p.OvMaxPS,
+			OvYields:   append([]float64(nil), p.OvYields...),
+		})
+	}
+	return out
 }

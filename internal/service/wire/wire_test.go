@@ -13,6 +13,7 @@ import (
 	"vipipe/internal/stats"
 	"vipipe/internal/variation"
 	"vipipe/internal/vi"
+	"vipipe/internal/yield"
 )
 
 // fakeMC builds a synthetic characterization: execute violating hard,
@@ -164,5 +165,57 @@ func TestDRCReportRoundTrip(t *testing.T) {
 	}
 	if back.Violations[0].Rule != "comb-loop" {
 		t.Fatalf("round trip lost violation: %+v", back)
+	}
+}
+
+func TestSurfaceRoundTrip(t *testing.T) {
+	src := &yield.Surface{
+		PlanHash:  "abcd1234",
+		ClockPS:   4000,
+		NX:        2,
+		NY:        1,
+		PeriodsPS: []float64{3800, 4000, 4200},
+		Positions: []yield.SurfacePos{
+			{Name: "r0c0", Key: "k0", Samples: 60, Shards: 2,
+				MeanPS: 3900, StdPS: 45, MinPS: 3700, MaxPS: 4100,
+				Yields: []float64{0.1, 0.6, 0.97}},
+			{Name: "r0c1", XMM: 11.4, Key: "k1", Samples: 60, Shards: 2,
+				MeanPS: 3950, StdPS: 50, MinPS: 3750, MaxPS: 4150,
+				Yields:     []float64{0.05, 0.5, 0.95},
+				HasOverlay: true, OvMeanPS: 4010, OvStdPS: 52,
+				OvMinPS: 3800, OvMaxPS: 4220,
+				OvYields: []float64{0.02, 0.4, 0.9}},
+		},
+	}
+	got := FromSurface(src)
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	var back Surface
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.PlanHash != "abcd1234" || back.NX != 2 || back.NY != 1 || len(back.Positions) != 2 {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Positions[1].XMM != 11.4 || !back.Positions[1].HasOverlay ||
+		back.Positions[1].OvYields[2] != 0.9 {
+		t.Fatalf("overlay fields lost: %+v", back.Positions[1])
+	}
+	if back.Positions[0].HasOverlay || len(back.Positions[0].OvYields) != 0 {
+		t.Fatalf("overlay leaked into clean position: %+v", back.Positions[0])
+	}
+	if !strings.Contains(buf.String(), `"plan_hash"`) || !strings.Contains(buf.String(), `"ov_mean_ps"`) {
+		t.Error("wire JSON missing snake_case surface field names")
+	}
+
+	// The DTO must not alias the engine slices: mutating the source
+	// after conversion cannot change what was already converted.
+	src.Positions[0].Yields[0] = 99
+	src.PeriodsPS[0] = 99
+	if got.Positions[0].Yields[0] == 99 || got.PeriodsPS[0] == 99 {
+		t.Fatal("FromSurface aliases the source slices")
 	}
 }

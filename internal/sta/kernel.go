@@ -1,0 +1,248 @@
+package sta
+
+import (
+	"math"
+)
+
+// Kernel is the structure-of-arrays fast path for Monte Carlo inner
+// loops: it re-times the netlist with zero per-sample allocation and
+// returns only the scalar the sampling engines need — the critical
+// path length — instead of materializing a full Report. Arrival
+// propagation, endpoint evaluation and the per-instance scale
+// application replicate Analyzer.RunInto operation for operation, so
+// a Kernel critical path is bit-identical to Report.CritPS for the
+// same clock and scale vector.
+//
+// Rerun is the incremental half: after a full Run, a sparse set of
+// cells with changed scales re-propagates only the affected cone of
+// the timing graph, which is how overlay-perturbed statistics cost a
+// fraction of a full analysis per sample.
+//
+// A Kernel is NOT safe for concurrent use: it owns its arrival
+// buffer. Build one per worker (construction is O(cells + nets) and
+// shares the analyzer's characterized delays).
+type Kernel struct {
+	order []int     // comb topological order (shared with the Analyzer)
+	base  []float64 // nominal instance delays (shared)
+	setup []float64 // nominal setup times (shared)
+	wire  []float64 // per-net wire delays (shared)
+
+	pis []int // primary-input nets (shared)
+	pos []int // primary-output nets (shared)
+	seq []int // sequential instances, index order
+
+	out   []int32 // driven net per instance
+	in0   []int32 // first input net per instance (endpoint net of a flop)
+	isTie []bool
+	isSeq []bool
+
+	// Input nets per instance, CSR over all instances.
+	inPtr []int32
+	inNet []int32
+
+	// Combinational non-tie sinks per net, CSR: the mark targets of
+	// incremental re-propagation.
+	snkPtr  []int32
+	snkInst []int32
+
+	arr   []float64
+	mark  []uint32
+	epoch uint32
+}
+
+// NewKernel builds the flattened timing structure from a prepared
+// analyzer. The kernel aliases the analyzer's characterized delay
+// tables; re-characterizing the analyzer (Refresh) orphans the kernel,
+// so build kernels after the netlist is final.
+func NewKernel(a *Analyzer) *Kernel {
+	nl := a.NL
+	nCells := nl.NumCells()
+	nNets := nl.NumNets()
+	k := &Kernel{
+		order: a.order,
+		base:  a.baseDelay,
+		setup: a.setup,
+		wire:  a.wire,
+		pis:   nl.PIs,
+		pos:   nl.POs,
+		out:   make([]int32, nCells),
+		in0:   make([]int32, nCells),
+		isTie: make([]bool, nCells),
+		isSeq: make([]bool, nCells),
+		inPtr: make([]int32, nCells+1),
+		arr:   make([]float64, nNets),
+		mark:  make([]uint32, nCells),
+	}
+	nIn := 0
+	for i := 0; i < nCells; i++ {
+		inst := &nl.Insts[i]
+		c := nl.Cell(i)
+		k.out[i] = int32(inst.Out)
+		if len(inst.Inputs) > 0 {
+			k.in0[i] = int32(inst.Inputs[0])
+		} else {
+			k.in0[i] = -1
+		}
+		k.isTie[i] = c.IsTie()
+		k.isSeq[i] = c.Sequential
+		if c.Sequential {
+			k.seq = append(k.seq, i)
+		}
+		nIn += len(inst.Inputs)
+	}
+	k.inNet = make([]int32, 0, nIn)
+	for i := 0; i < nCells; i++ {
+		k.inPtr[i] = int32(len(k.inNet))
+		for _, n := range nl.Insts[i].Inputs {
+			k.inNet = append(k.inNet, int32(n))
+		}
+	}
+	k.inPtr[nCells] = int32(len(k.inNet))
+
+	k.snkPtr = make([]int32, nNets+1)
+	nSnk := 0
+	for n := 0; n < nNets; n++ {
+		for _, s := range nl.Nets[n].Sinks {
+			if !k.isSeq[s.Inst] && !k.isTie[s.Inst] {
+				nSnk++
+			}
+		}
+	}
+	k.snkInst = make([]int32, 0, nSnk)
+	for n := 0; n < nNets; n++ {
+		k.snkPtr[n] = int32(len(k.snkInst))
+		for _, s := range nl.Nets[n].Sinks {
+			if !k.isSeq[s.Inst] && !k.isTie[s.Inst] {
+				k.snkInst = append(k.snkInst, int32(s.Inst))
+			}
+		}
+	}
+	k.snkPtr[nNets] = int32(len(k.snkInst))
+	return k
+}
+
+// NumCells returns the instance count the kernel times.
+func (k *Kernel) NumCells() int { return len(k.out) }
+
+// Run performs a full timing analysis and returns the critical path
+// length — bit-identical to Report.CritPS from Analyzer.RunInto at
+// the same clock and scale. scale must have NumCells entries. The
+// arrival state is retained for a subsequent Rerun.
+func (k *Kernel) Run(clockPS float64, scale []float64) float64 {
+	arr := k.arr
+	neg := math.Inf(-1)
+	for n := range arr {
+		arr[n] = neg
+	}
+	for _, n := range k.pis {
+		arr[n] = 0
+	}
+	for _, i := range k.seq {
+		arr[k.out[i]] = k.base[i] * scale[i]
+	}
+	for _, i := range k.order {
+		if k.isTie[i] {
+			continue
+		}
+		worst := neg
+		for _, n := range k.inNet[k.inPtr[i]:k.inPtr[i+1]] {
+			if t := arr[n] + k.wire[n]; t > worst {
+				worst = t
+			}
+		}
+		if worst == neg {
+			arr[k.out[i]] = neg
+			continue
+		}
+		arr[k.out[i]] = worst + k.base[i]*scale[i]
+	}
+	return k.critical(clockPS, scale)
+}
+
+// critical evaluates every endpoint against the retained arrivals,
+// replicating the exact float expression sequence of RunInto's
+// addEndpoint (including the need double-subtraction — which is not
+// algebraically simplifiable without changing bits).
+func (k *Kernel) critical(clockPS float64, scale []float64) float64 {
+	arr := k.arr
+	neg := math.Inf(-1)
+	crit := 0.0
+	for _, i := range k.seq {
+		need := clockPS - k.setup[i]*scale[i]
+		n := k.in0[i]
+		t := arr[n] + k.wire[n]
+		if t == neg {
+			continue
+		}
+		if c := t + (clockPS - need); c > crit {
+			crit = c
+		}
+	}
+	for _, n := range k.pos {
+		t := arr[n] + k.wire[n]
+		if t == neg {
+			continue
+		}
+		if c := t + (clockPS - clockPS); c > crit {
+			crit = c
+		}
+	}
+	return crit
+}
+
+// Rerun updates the retained analysis after a sparse scale change and
+// returns the new critical path, bit-identical to a full Run with the
+// same scale. dirty lists every instance whose scale entry differs
+// from the previous Run/Rerun; arrival times re-propagate only from
+// those cells through their affected fanout cones, then all endpoints
+// re-evaluate (endpoints are cheap, and flop setup scaling makes every
+// endpoint clock-sensitive anyway).
+func (k *Kernel) Rerun(clockPS float64, scale []float64, dirty []int) float64 {
+	arr := k.arr
+	neg := math.Inf(-1)
+	k.epoch++
+	e := k.epoch
+	for _, i := range dirty {
+		switch {
+		case k.isSeq[i]:
+			nv := k.base[i] * scale[i]
+			if nv != arr[k.out[i]] {
+				arr[k.out[i]] = nv
+				k.markSinks(k.out[i], e)
+			}
+		case k.isTie[i]:
+			// Constants do not launch paths; scale is irrelevant.
+		default:
+			k.mark[i] = e
+		}
+	}
+	for _, i := range k.order {
+		if k.mark[i] != e {
+			continue
+		}
+		worst := neg
+		for _, n := range k.inNet[k.inPtr[i]:k.inPtr[i+1]] {
+			if t := arr[n] + k.wire[n]; t > worst {
+				worst = t
+			}
+		}
+		nv := worst + k.base[i]*scale[i]
+		if worst == neg {
+			nv = neg
+		}
+		if nv != arr[k.out[i]] {
+			arr[k.out[i]] = nv
+			k.markSinks(k.out[i], e)
+		}
+	}
+	return k.critical(clockPS, scale)
+}
+
+// markSinks stamps the combinational non-tie loads of net n for
+// re-evaluation; they all sit later in topological order than the
+// change that marked them.
+func (k *Kernel) markSinks(n int32, e uint32) {
+	for _, j := range k.snkInst[k.snkPtr[n]:k.snkPtr[n+1]] {
+		k.mark[j] = e
+	}
+}

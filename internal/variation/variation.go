@@ -168,8 +168,17 @@ func (m *Model) Position(name string) (Pos, bool) {
 // combining the systematic map at each cell's physical location with
 // an independent random draw (paper Eq. 2).
 func (m *Model) SampleChip(pl *place.Placement, pos Pos, rng *stats.Stream) []float64 {
+	lg := make([]float64, pl.NL.NumCells())
+	m.SampleChipInto(lg, pl, pos, rng)
+	return lg
+}
+
+// SampleChipInto is SampleChip with caller-owned storage for Monte
+// Carlo inner loops: the draw order and arithmetic are identical, so
+// a reused buffer holds the same bits a fresh SampleChip would.
+// lg must have NumCells entries.
+func (m *Model) SampleChipInto(lg []float64, pl *place.Placement, pos Pos, rng *stats.Stream) {
 	n := pl.NL.NumCells()
-	lg := make([]float64, n)
 	sigma := m.RndSigmaNM()
 	for i := 0; i < n; i++ {
 		cx, cy := pl.Center(i)
@@ -177,7 +186,6 @@ func (m *Model) SampleChip(pl *place.Placement, pos Pos, rng *stats.Stream) []fl
 		y := pos.YMM + cy/1000
 		lg[i] = m.SystematicLgateNM(x, y) + rng.Normal(0, sigma)
 	}
-	return lg
 }
 
 // DelayScales converts per-cell gate lengths and supply domains into

@@ -1,0 +1,138 @@
+package yield
+
+import (
+	"vipipe/internal/flowerr"
+	"vipipe/internal/variation"
+)
+
+// Surface is the reduce artifact of a field sweep: one yield curve per
+// exposure-field position, all on a shared period axis, assembled by
+// folding shard statistics in a fixed deterministic order. It extends
+// the single-position mc yield curve to the 2D exposure field — the
+// map a product engineer reads to pick where on the field a core's
+// speed grade is safe.
+type Surface struct {
+	// PlanHash identifies the plan the surface was computed from.
+	PlanHash string
+	// ClockPS is the flow clock the samples were timed against.
+	ClockPS float64
+	// NX, NY are the grid dimensions (0 when the plan listed explicit
+	// positions instead of a grid).
+	NX int
+	NY int
+	// PeriodsPS is the shared clock-period axis of every Yields slice.
+	PeriodsPS []float64
+	// Positions holds per-position results in plan order (row-major
+	// for grids).
+	Positions []SurfacePos
+}
+
+// SurfacePos is one position's folded statistics.
+type SurfacePos struct {
+	Name string
+	XMM  float64
+	YMM  float64
+	// Key is the position's shard content key (cache attribution).
+	Key string
+	// Samples and Shards record the fold's provenance.
+	Samples int64
+	Shards  int
+	// Critical-path moments, picoseconds.
+	MeanPS float64
+	StdPS  float64
+	MinPS  float64
+	MaxPS  float64
+	// Yields[i] is the fraction of sampled chips meeting PeriodsPS[i].
+	Yields []float64
+	// Overlay statistics, present when the plan disturbed this
+	// position.
+	HasOverlay bool
+	OvMeanPS   float64
+	OvStdPS    float64
+	OvMinPS    float64
+	OvMaxPS    float64
+	OvYields   []float64
+}
+
+// At returns the position record by name, and whether it exists.
+func (s *Surface) At(name string) (*SurfacePos, bool) {
+	for i := range s.Positions {
+		if s.Positions[i].Name == name {
+			return &s.Positions[i], true
+		}
+	}
+	return nil, false
+}
+
+// NearestPeriod returns the index into PeriodsPS closest to p.
+func (s *Surface) NearestPeriod(p float64) int {
+	best := 0
+	for i, e := range s.PeriodsPS {
+		if d, bd := e-p, s.PeriodsPS[best]-p; abs(d) < abs(bd) {
+			best = i
+		}
+	}
+	return best
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BuildSurface folds each position's shards (MergeShards — a left fold
+// whose result is grouping-invariant) and assembles the surface in
+// position order. perPos[i] holds position i's shard stats in shard
+// order; every histogram must share the resolved axis.
+func BuildSurface(planHash string, clockPS float64, g Grid, positions []variation.Pos, axis CurveAxis, perPos [][]*ShardStat) (*Surface, error) {
+	if len(perPos) != len(positions) {
+		return nil, flowerr.BadInputf("yield: %d shard groups for %d positions", len(perPos), len(positions))
+	}
+	axis = axis.Normalize()
+	s := &Surface{
+		PlanHash:  planHash,
+		ClockPS:   clockPS,
+		NX:        g.NX,
+		NY:        g.NY,
+		PeriodsPS: axis.Periods(),
+		Positions: make([]SurfacePos, 0, len(positions)),
+	}
+	for pi, pos := range positions {
+		merged, err := MergeShards(perPos[pi])
+		if err != nil {
+			return nil, flowerr.BadInputf("yield: folding position %q: %w", pos.Name, err)
+		}
+		if merged.Pos != pos.Name {
+			return nil, flowerr.BadInputf("yield: shard group %d is for %q, want %q", pi, merged.Pos, pos.Name)
+		}
+		want := NewHistogram(axis.LoPS, axis.HiPS, axis.Points)
+		if !merged.Hist.SameAxis(&want) {
+			return nil, flowerr.BadInputf("yield: position %q histogram axis differs from plan axis", pos.Name)
+		}
+		sp := SurfacePos{
+			Name:    pos.Name,
+			XMM:     pos.XMM,
+			YMM:     pos.YMM,
+			Key:     merged.Key,
+			Samples: merged.Samples,
+			Shards:  merged.Shards,
+			MeanPS:  merged.Crit.Mean(),
+			StdPS:   merged.Crit.Std(),
+			MinPS:   merged.Crit.Min,
+			MaxPS:   merged.Crit.Max,
+			Yields:  merged.Hist.Yields(),
+		}
+		if merged.HasOverlay {
+			sp.HasOverlay = true
+			sp.OvMeanPS = merged.OvCrit.Mean()
+			sp.OvStdPS = merged.OvCrit.Std()
+			sp.OvMinPS = merged.OvCrit.Min
+			sp.OvMaxPS = merged.OvCrit.Max
+			sp.OvYields = merged.OvHist.Yields()
+		}
+		s.Positions = append(s.Positions, sp)
+	}
+	return s, nil
+}

@@ -14,15 +14,18 @@ import (
 	"vipipe/internal/power"
 	"vipipe/internal/stats"
 	"vipipe/internal/variation"
+	"vipipe/internal/yield"
 )
 
 // DiskCodecs maps the flow's artifact nodes to the serializers a
 // pipeline.DiskStore needs. Only pure-data artifacts persist:
 //
-//	mc/<pos>      *mc.Result        (via a DTO: FitErr is an interface)
-//	power/...     *power.Report
-//	ladder        []variation.Pos
-//	drc           *drc.Report
+//	mc/<pos>          *mc.Result       (via a DTO: FitErr is an interface)
+//	power/...         *power.Report
+//	ladder            []variation.Pos
+//	drc               *drc.Report
+//	field/surface/... *yield.Surface
+//	field/...         *yield.ShardStat (the warm re-sweep currency)
 //
 // Engine-state artifacts — synth, place, analyze, workload, vi/* —
 // return a nil codec and stay in the memory tier: they hold live
@@ -42,6 +45,12 @@ func DiskCodecs() pipeline.Codecs {
 			return mcCodec{}
 		case strings.HasPrefix(nodeID, "power/"):
 			return gobPointer[power.Report]{}
+		// The surface prefix must match before the general field/
+		// prefix: surface nodes are "field/surface/<planhash>".
+		case strings.HasPrefix(nodeID, "field/surface/"):
+			return gobPointer[yield.Surface]{}
+		case strings.HasPrefix(nodeID, "field/"):
+			return gobPointer[yield.ShardStat]{}
 		}
 		return nil
 	}

@@ -11,6 +11,7 @@ import (
 	"vipipe/internal/power"
 	"vipipe/internal/stats"
 	"vipipe/internal/variation"
+	"vipipe/internal/yield"
 )
 
 func TestDiskCodecsSelection(t *testing.T) {
@@ -131,5 +132,50 @@ func TestCodecRejectsWrongType(t *testing.T) {
 	}
 	if _, err := c.Decode([]byte("not gob")); err == nil {
 		t.Fatal("mc codec decoded garbage")
+	}
+}
+
+func TestShardStatRoundTrip(t *testing.T) {
+	in := &yield.ShardStat{
+		Key: "abcd1234", Pos: "r2c3", Shards: 2, Samples: 500,
+		Crit: yield.Moments{
+			Count: 500,
+			Sum:   yield.FixedFromFloat(2_000_000.5),
+			SumSq: yield.FixedFromFloat(8_000_000_000.25),
+			Min:   3901.5, Max: 4410.25,
+		},
+		Hist:       yield.Histogram{LoPS: 3600, HiPS: 4600, Bins: []int64{3, 0, 490, 5}, Over: 2},
+		HasOverlay: true,
+		OvCrit:     yield.Moments{Count: 500, Sum: yield.FixedFromFloat(-12.5), Min: -1, Max: 2},
+		OvHist:     yield.Histogram{LoPS: 3600, HiPS: 4600, Bins: []int64{1, 1, 497, 1}},
+	}
+	got := roundTrip(t, NodeFieldShard("r2c3", "abcd1234", 1), in).(*yield.ShardStat)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, got)
+	}
+}
+
+func TestSurfaceRoundTrip(t *testing.T) {
+	in := &yield.Surface{
+		PlanHash: "deadbeef01234567", ClockPS: 4100, NX: 2, NY: 1,
+		PeriodsPS: []float64{3690, 4715},
+		Positions: []yield.SurfacePos{
+			{Name: "r0c0", Key: "k0", Samples: 1000, Shards: 4,
+				MeanPS: 4100.5, StdPS: 55.25, MinPS: 3900, MaxPS: 4400,
+				Yields: []float64{0.25, 1}},
+			{Name: "r0c1", XMM: 14, Key: "k1", Samples: 1000, Shards: 4,
+				MeanPS: 4050, StdPS: 50, MinPS: 3880, MaxPS: 4300,
+				Yields:     []float64{0.5, 1},
+				HasOverlay: true, OvMeanPS: 4200, OvStdPS: 60, OvMinPS: 3950, OvMaxPS: 4500,
+				OvYields: []float64{0.125, 1}},
+		},
+	}
+	got := roundTrip(t, NodeFieldSurface("deadbeef01234567"), in).(*yield.Surface)
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, got)
+	}
+	// The surface prefix must not be shadowed by the shard codec.
+	if _, err := DiskCodecs()(NodeFieldSurface("x")).Encode(&yield.ShardStat{}); err == nil {
+		t.Fatal("surface codec accepted a shard stat")
 	}
 }
