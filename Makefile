@@ -34,7 +34,7 @@ test:
 # run under the race detector; this is what validates the worker-drain
 # guarantees of mc.Run and the graph's concurrent node scheduling.
 race:
-	$(GO) test -race . ./internal/pipeline ./internal/mc ./internal/gsim ./internal/vexsim ./internal/flowerr ./internal/drc
+	$(GO) test -race . ./internal/pipeline ./internal/mc ./internal/gsim ./internal/vexsim ./internal/flowerr ./internal/drc ./internal/tmodel
 
 # The fault-injection suite: corrupted SDF/DEF/netlist/placement/region
 # artifacts must yield typed errors, never panics.
@@ -70,10 +70,10 @@ crash-it:
 # one-iteration ci variant: it proves the benchmark still compiles and
 # runs without paying measurement time.
 bench:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep' -benchmem . | tee BENCH_service.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep|BenchmarkWhatIf' -benchmem . | tee BENCH_service.json
 
 bench-smoke:
-	$(GO) test -run 'TestFieldSweepWarmDirtySpeedup' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep' -benchtime 1x .
+	$(GO) test -run 'TestFieldSweepWarmDirtySpeedup|TestWhatIfSpeedup' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep|BenchmarkWhatIf' -benchtime 1x .
 
 ci: fmt vet lint build race test fault service-it crash-it bench-smoke
 

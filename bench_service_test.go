@@ -4,8 +4,14 @@ import (
 	"context"
 	"testing"
 
+	"vipipe"
+	"vipipe/internal/cell"
 	"vipipe/internal/obs"
 	"vipipe/internal/service"
+	"vipipe/internal/sta"
+	"vipipe/internal/tmodel"
+	"vipipe/internal/variation"
+	"vipipe/internal/vi"
 )
 
 // BenchmarkServiceScenarioSweep measures the service engine's A-D
@@ -121,6 +127,171 @@ func BenchmarkFieldSweep(b *testing.B) {
 		total := m.Snapshot(nil, nil).Counters["yield.shards_computed"]
 		b.ReportMetric(float64(total-cold)/float64(b.N), "shards/op")
 	})
+}
+
+// whatIfFixture materializes the what-if serving baseline once: a
+// warmed flow, its vertical partition and the extracted compact model,
+// plus everything an explicit re-extraction needs.
+type whatIfFixture struct {
+	f    *vipipe.Flow
+	pos  variation.Pos
+	part *vi.Partition
+	m    *tmodel.Model
+	tm   *vipipe.Timing
+	in   tmodel.ExtractInput
+}
+
+func newWhatIfFixture(tb testing.TB) *whatIfFixture {
+	tb.Helper()
+	ctx := context.Background()
+	cfg := vipipe.TestConfig()
+	cfg.MCSamples = 60
+	cfg.VISamples = 24
+	cfg.FIRSamples = 8
+	cfg.FIRTaps = 4
+	f := vipipe.New(cfg)
+	pos, err := f.Position("B")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := f.TimingModel(ctx, vi.Vertical, pos)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	part, err := f.GenerateIslands(ctx, vi.Vertical)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	n := f.NL.NumCells()
+	xum := make([]float64, n)
+	yum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xum[i], yum[i] = f.PL.Center(i)
+	}
+	ls := f.Lib.Cell(cell.LvlShift)
+	return &whatIfFixture{
+		f:    f,
+		pos:  pos,
+		part: part,
+		m:    m,
+		tm:   &vipipe.Timing{STA: f.STA, ClockPS: f.ClockPS, FmaxMHz: f.FmaxMHz, Derate: f.Derate},
+		in: tmodel.ExtractInput{
+			View:      sta.NewKernel(f.STA).View(),
+			ClockPS:   f.ClockPS,
+			Region:    part.Region,
+			Islands:   part.NumIslands(),
+			LgNM:      f.SystematicLgate(pos),
+			Derate:    f.Derate,
+			XUM:       xum,
+			YUM:       yum,
+			Tech:      f.NL.Lib.Tech,
+			LnomNM:    cfg.Model.LnomNM,
+			ShifterPS: ls.IntrinsicPS + ls.DrivePSPerFF*ls.InputCapFF,
+			Pos:       pos.Name,
+			Strategy:  vi.Vertical.String(),
+		},
+	}
+}
+
+// whatIfQueries returns the three query classes: the group-sum
+// raise/shifter query (the steady-state currency of island search),
+// an in-domain overlay query (walks the stored cells), and an
+// out-of-domain query that forces the exact-STA fallback.
+func (x *whatIfFixture) whatIfQueries() (raise, overlay, fallback tmodel.Query) {
+	wmm, hmm := x.f.PL.DieW/1000, x.f.PL.DieH/1000
+	raise = tmodel.Query{Raise: 1, Shifters: true}
+	overlay = tmodel.Query{Raise: 1, Overlay: &tmodel.Disc{
+		XMM: 0.4 * wmm, YMM: 0.6 * hmm, RMM: 0.3 * wmm, DeltaFrac: 0.05}}
+	fallback = overlay
+	fallback.Overlay = &tmodel.Disc{
+		XMM: 0.4 * wmm, YMM: 0.6 * hmm, RMM: 0.3 * wmm,
+		DeltaFrac: 2 * x.m.MaxDeltaFrac}
+	return raise, overlay, fallback
+}
+
+// BenchmarkWhatIf sizes the what-if serving tiers: cold_extract pays
+// the one-time model extraction (validation probes included),
+// warm_composed is the steady-state microsecond path every query
+// takes, and full_sta is the exact fallback a composed answer
+// replaces — the ratio between the last two is the point of
+// internal/tmodel.
+func BenchmarkWhatIf(b *testing.B) {
+	x := newWhatIfFixture(b)
+	raise, overlay, fallback := x.whatIfQueries()
+
+	b.Run("cold_extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tmodel.Extract(x.in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm_composed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := x.m.Eval(raise); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm_overlay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := x.m.Eval(overlay); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("full_sta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ans, err := vipipe.EvalWhatIf(x.f.Cfg, x.tm, x.part, x.m, x.pos, fallback)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ans.Exact {
+				b.Fatal("fallback query answered by the model")
+			}
+		}
+	})
+}
+
+// TestWhatIfSpeedup is the bench-smoke gate for the composed path: a
+// warm raise/shifter what-if query — the group-sum tier island search
+// hammers — must answer at least 50x faster than the exact STA
+// evaluation it stands in for. (Overlay queries re-price the stored
+// cells through the Vdd scaler, so their ceiling is the model’s
+// cell-count ratio, not 50x; BenchmarkWhatIf/warm_overlay tracks
+// them.) A regression here means the group-sum path grew a hidden
+// cell walk.
+func TestWhatIfSpeedup(t *testing.T) {
+	x := newWhatIfFixture(t)
+	raise, _, fallback := x.whatIfQueries()
+
+	const warmIters, exactIters = 2000, 8
+	t0 := obs.Now()
+	for i := 0; i < warmIters; i++ {
+		if _, err := x.m.Eval(raise); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := obs.Since(t0) / warmIters
+
+	t1 := obs.Now()
+	for i := 0; i < exactIters; i++ {
+		ans, err := vipipe.EvalWhatIf(x.f.Cfg, x.tm, x.part, x.m, x.pos, fallback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Exact {
+			t.Fatal("fallback query answered by the model")
+		}
+	}
+	exact := obs.Since(t1) / exactIters
+
+	if exact < 50*warm {
+		t.Fatalf("composed what-if %v not ≥50x faster than full STA %v", warm, exact)
+	}
 }
 
 // TestFieldSweepWarmDirtySpeedup is the bench-smoke gate for the warm

@@ -269,6 +269,8 @@ func newGraph(cfg Config, lib *cell.Library, store pipeline.Store, opts ...pipel
 		}
 	}
 
+	addTimingModelNodes(g, cfg, positions)
+
 	g.MustAdd(pipeline.Node{
 		ID:   NodeDRC,
 		Deps: []string{NodeSynth, NodePlace, NodeAnalyze},

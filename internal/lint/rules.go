@@ -26,12 +26,12 @@ var computeDirs = []string{
 	"internal/mc", "internal/sta", "internal/vi", "internal/power",
 	"internal/variation", "internal/stats", "internal/place",
 	"internal/gsim", "internal/pipeline", "internal/service",
-	"internal/yield",
+	"internal/yield", "internal/tmodel",
 }
 
 // rootFlowFiles are the root-package files that define the artifact
 // graph and the Flow facade.
-var rootFlowFiles = map[string]bool{"graph.go": true, "vipipe.go": true, "yieldgraph.go": true}
+var rootFlowFiles = map[string]bool{"graph.go": true, "vipipe.go": true, "yieldgraph.go": true, "tmodelgraph.go": true}
 
 // taxonomyDirs are the packages whose exported APIs participate in
 // the flowerr error taxonomy (callers branch on errors.Is, cmds map
@@ -40,6 +40,7 @@ var taxonomyDirs = []string{
 	"internal/mc", "internal/sta", "internal/vi", "internal/power",
 	"internal/place", "internal/gsim", "internal/stats",
 	"internal/pipeline", "internal/service", "internal/yield",
+	"internal/tmodel",
 }
 
 // schedulerDirs are the only packages allowed to start goroutines:

@@ -1,0 +1,12 @@
+// Package tmodel is a lint fixture: a compact-model extraction that
+// stamps wall-clock time into the artifact, which would break
+// byte-identical re-extraction.
+package tmodel
+
+import "time"
+
+// ExtractStamp records when the model was built — the determinism
+// rule must flag the clock read.
+func ExtractStamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,10 @@
+// Clean counterpart: signatures sorted canonically, no ambient state.
+package tmodel
+
+import "sort"
+
+// CanonicalOrder sorts endpoint IDs the sanctioned way — pure data in,
+// pure data out.
+func CanonicalOrder(eps []int) {
+	sort.Ints(eps)
+}

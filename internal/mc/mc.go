@@ -96,6 +96,19 @@ type Result struct {
 	StageCriticals map[netlist.Stage]map[int]int
 }
 
+// sampleBatch is the structure-of-arrays per-sample outcome storage of
+// one Run: workers write disjoint sample slots, the fold reads columns.
+// It replaces the former per-sample per-stage map bookkeeping.
+type sampleBatch struct {
+	done         []bool
+	panicked     []*flowerr.PanicError
+	crit         []float64
+	stagePresent []uint8 // bitmask over netlist.Stage (NumStages <= 8)
+	stageSlack   [netlist.NumStages][]float64
+	stageWorst   [netlist.NumStages][]int32
+	violators    [][]int32
+}
+
 // Run performs the Monte Carlo SSTA for a core placed at pos.
 //
 // The run honors ctx: cancellation or deadline expiry stops dispatch
@@ -146,15 +159,23 @@ func Run(ctx context.Context, a *sta.Analyzer, model *variation.Model, pos varia
 	nCells := a.NL.NumCells()
 	tech := &a.NL.Lib.Tech
 
-	type sampleOut struct {
-		stageSlack map[netlist.Stage]float64
-		stageWorst map[netlist.Stage]int
-		crit       float64
-		violators  []int
-		done       bool
-		panicked   *flowerr.PanicError
+	// Per-sample outcomes live in flat structure-of-arrays storage —
+	// one slot per sample index, workers write disjoint slots — so the
+	// fold below reads columns instead of per-sample maps. A stage's
+	// presence (whether it has any constrained endpoint) is structural
+	// and identical across samples, but each sample records its own
+	// mask so a torn slot from a panicked sample is never read.
+	outs := sampleBatch{
+		done:         make([]bool, opts.Samples),
+		panicked:     make([]*flowerr.PanicError, opts.Samples),
+		crit:         make([]float64, opts.Samples),
+		stagePresent: make([]uint8, opts.Samples),
+		violators:    make([][]int32, opts.Samples),
 	}
-	outs := make([]sampleOut, opts.Samples)
+	for s := range outs.stageSlack {
+		outs.stageSlack[s] = make([]float64, opts.Samples)
+		outs.stageWorst[s] = make([]int32, opts.Samples)
+	}
 
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -162,14 +183,23 @@ func Run(ctx context.Context, a *sta.Analyzer, model *variation.Model, pos varia
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rep := &sta.Report{}
+			// Each worker owns a kernel (the SoA fast path shares the
+			// analyzer's characterized tables) plus reusable sample
+			// buffers; the cached scalers hoist the normalization
+			// constant of cell.DelayScale out of the per-cell loop,
+			// bit-for-bit equal by DelayScaler's contract.
+			kern := sta.NewKernel(a)
+			frame := &sta.Frame{}
+			lg := make([]float64, nCells)
 			scale := make([]float64, nCells)
+			loScale := tech.DelayScaler(tech.VddLow)
+			hiScale := tech.DelayScaler(tech.VddHigh)
 			// sample is split out so a recovered panic discards one
 			// chip instance, not the worker's whole queue.
 			sample := func(k int) {
 				defer func() {
 					if r := recover(); r != nil {
-						outs[k].panicked = &flowerr.PanicError{
+						outs.panicked[k] = &flowerr.PanicError{
 							Sample: k, Value: r, Stack: debug.Stack(),
 						}
 					}
@@ -178,36 +208,35 @@ func Run(ctx context.Context, a *sta.Analyzer, model *variation.Model, pos varia
 					opts.hookSample(k)
 				}
 				rng := stats.DeriveStream(opts.Seed, fmt.Sprintf("mc/%s/%d", pos.Name, k))
-				lg := model.SampleChip(a.PL, pos, rng)
+				model.SampleChipInto(lg, a.PL, pos, rng)
 				for i := 0; i < nCells; i++ {
-					vdd := tech.VddLow
+					var s float64
 					if opts.Domains != nil && opts.Domains[i] == cell.DomainHigh {
-						vdd = tech.VddHigh
+						s = hiScale(lg[i])
+					} else {
+						s = loScale(lg[i])
 					}
-					s := tech.DelayScale(vdd, lg[i])
 					if opts.Derate != nil {
 						s *= opts.Derate[i]
 					}
 					scale[i] = s
 				}
-				a.RunInto(rep, opts.ClockPS, scale)
-				o := sampleOut{
-					stageSlack: make(map[netlist.Stage]float64, len(rep.PerStage)),
-					stageWorst: make(map[netlist.Stage]int, len(rep.PerStage)),
-				}
-				for st, v := range rep.PerStage {
-					o.stageSlack[st] = v.WorstSlack
-					o.stageWorst[st] = v.Endpoint
-				}
-				o.crit = rep.CritPS
-				for e := range rep.Endpoints {
-					ep := &rep.Endpoints[e]
-					if ep.Slack < 0 && ep.Inst != netlist.NoInst {
-						o.violators = append(o.violators, ep.Inst)
+				kern.RunFrame(frame, opts.ClockPS, scale)
+				outs.crit[k] = frame.CritPS
+				mask := uint8(0)
+				for st := range frame.Lanes {
+					if !frame.Present[st] {
+						continue
 					}
+					mask |= 1 << st
+					outs.stageSlack[st][k] = frame.Lanes[st].WorstSlack
+					outs.stageWorst[st][k] = int32(frame.Lanes[st].Endpoint)
 				}
-				o.done = true
-				outs[k] = o
+				outs.stagePresent[k] = mask
+				if len(frame.Violators) > 0 {
+					outs.violators[k] = append([]int32(nil), frame.Violators...)
+				}
+				outs.done[k] = true
 			}
 			for k := range idx {
 				if ctx.Err() != nil {
@@ -231,13 +260,13 @@ dispatch:
 	var firstPanic *flowerr.PanicError
 	var skipped []int
 	completed := 0
-	for k := range outs {
+	for k := 0; k < opts.Samples; k++ {
 		switch {
-		case outs[k].done:
+		case outs.done[k]:
 			completed++
-		case outs[k].panicked != nil:
+		case outs.panicked[k] != nil:
 			if firstPanic == nil {
-				firstPanic = outs[k].panicked
+				firstPanic = outs.panicked[k]
 			}
 			skipped = append(skipped, k)
 		}
@@ -266,29 +295,32 @@ dispatch:
 		EndpointViolations: make(map[int]int),
 		StageCriticals:     make(map[netlist.Stage]map[int]int),
 	}
-	for _, o := range outs {
-		if !o.done {
+	for k := 0; k < opts.Samples; k++ {
+		if !outs.done[k] {
 			continue
 		}
-		res.CritPS = append(res.CritPS, o.crit)
-		for st, sl := range o.stageSlack {
+		res.CritPS = append(res.CritPS, outs.crit[k])
+		mask := outs.stagePresent[k]
+		for s := 0; s < int(netlist.NumStages); s++ {
+			if mask&(1<<s) == 0 {
+				continue
+			}
+			st := netlist.Stage(s)
 			d := res.PerStage[st]
 			if d == nil {
 				d = &StageDist{Stage: st}
 				res.PerStage[st] = d
 			}
-			d.SlackPS = append(d.SlackPS, sl)
-		}
-		for _, inst := range o.violators {
-			res.EndpointViolations[inst]++
-		}
-		for st, inst := range o.stageWorst {
+			d.SlackPS = append(d.SlackPS, outs.stageSlack[s][k])
 			m := res.StageCriticals[st]
 			if m == nil {
 				m = make(map[int]int)
 				res.StageCriticals[st] = m
 			}
-			m[inst]++
+			m[int(outs.stageWorst[s][k])]++
+		}
+		for _, inst := range outs.violators[k] {
+			res.EndpointViolations[int(inst)]++
 		}
 	}
 	for _, d := range res.PerStage {

@@ -13,6 +13,7 @@ import (
 	"vipipe/internal/pipeline"
 	"vipipe/internal/power"
 	"vipipe/internal/service/wire"
+	"vipipe/internal/tmodel"
 	"vipipe/internal/variation"
 	"vipipe/internal/vi"
 	"vipipe/internal/yield"
@@ -25,13 +26,13 @@ import (
 // share one baseline no matter how they interleave.
 type Request struct {
 	// Kind: "characterize", "islands", "scenario_power",
-	// "chipwide_power", "sweep", "field_sweep" or "drc".
+	// "chipwide_power", "sweep", "field_sweep", "whatif" or "drc".
 	Kind string `json:"kind"`
 	// Position names a chip position A-D (characterize,
-	// scenario_power, chipwide_power).
+	// scenario_power, chipwide_power, whatif).
 	Position string `json:"position,omitempty"`
 	// Strategy is "vertical", "horizontal" or "corner" (islands,
-	// scenario_power, sweep).
+	// scenario_power, sweep, whatif).
 	Strategy string `json:"strategy,omitempty"`
 	// Scenario is the number of islands to raise, 0..3
 	// (scenario_power).
@@ -50,6 +51,11 @@ type Request struct {
 	// position (field_sweep).
 	Overlays []OverlaySpec `json:"overlays,omitempty"`
 
+	// Queries lists the what-if evaluations of a whatif job, answered
+	// in request order against one extracted timing model (at least
+	// one required).
+	Queries []WhatIfSpec `json:"queries,omitempty"`
+
 	// Client identifies the submitter for per-client admission
 	// fairness (also settable via the X-Client header). Anonymous
 	// (empty) submissions are not quota-bounded; only the global
@@ -67,6 +73,17 @@ type OverlaySpec struct {
 	YMM       float64 `json:"y_mm"`
 	RMM       float64 `json:"r_mm"`
 	DeltaFrac float64 `json:"delta_frac"`
+}
+
+// WhatIfSpec is one what-if query of a whatif job: raise the first
+// Raise islands, optionally disturb gate lengths inside an overlay
+// disc (OverlaySpec.Pos is ignored here — the disc is placed by its
+// explicit core-local coordinates), optionally fold the stored paths'
+// level-shifter penalty in.
+type WhatIfSpec struct {
+	Raise    int          `json:"raise"`
+	Overlay  *OverlaySpec `json:"overlay,omitempty"`
+	Shifters bool         `json:"shifters,omitempty"`
 }
 
 // ConfigSpec is the wire form of a flow configuration: a base profile
@@ -213,6 +230,25 @@ func (e *Engine) Validate(req Request) error {
 	case "field_sweep":
 		_, err := fieldPlan(req, req.Config.ToConfig())
 		return err
+	case "whatif":
+		if _, err := parseStrategy(req.Strategy); err != nil {
+			return err
+		}
+		if _, err := parsePos(req.Config.ToConfig(), req.Position); err != nil {
+			return err
+		}
+		if len(req.Queries) == 0 {
+			return flowerr.BadInputf("service: whatif needs at least one query")
+		}
+		for i, q := range req.Queries {
+			if q.Raise < 0 {
+				return flowerr.BadInputf("service: whatif query %d: negative raise %d", i, q.Raise)
+			}
+			if q.Overlay != nil && q.Overlay.RMM <= 0 {
+				return flowerr.BadInputf("service: whatif query %d: overlay radius %g must be positive", i, q.Overlay.RMM)
+			}
+		}
+		return nil
 	case "drc":
 		return nil
 	default:
@@ -306,6 +342,8 @@ func (e *Engine) Run(ctx context.Context, req Request) (any, error) {
 		return e.sweep(ctx, cfg, g, strat)
 	case "field_sweep":
 		return e.fieldSweep(ctx, cfg, req)
+	case "whatif":
+		return e.whatIf(ctx, cfg, g, req)
 	case "drc":
 		v, err := g.RequestOne(ctx, vipipe.NodeDRC)
 		if err != nil {
@@ -374,6 +412,51 @@ func (e *Engine) sweep(ctx context.Context, cfg vipipe.Config, g *pipeline.Graph
 			entry.LeakRatio = viRep.LeakMW / l
 		}
 		out.Entries = append(out.Entries, entry)
+	}
+	return out, nil
+}
+
+// whatIf serves a batch of what-if queries from the cached compact
+// timing model (vipipe.NodeTimingModel): the model extracts once per
+// (config, strategy, position) and every subsequent query composes in
+// microseconds. Out-of-domain queries fall back to one exact STA run
+// each; /metrics splits the two paths as whatif.composed and
+// whatif.fallback.
+func (e *Engine) whatIf(ctx context.Context, cfg vipipe.Config, g *pipeline.Graph, req Request) (wire.WhatIf, error) {
+	strat, _ := parseStrategy(req.Strategy)
+	pos, _ := parsePos(cfg, req.Position)
+	id := vipipe.NodeTimingModel(strat, pos.Name)
+	arts, err := g.Request(ctx, id, vipipe.NodeAnalyze, vipipe.NodeIslands(strat))
+	if err != nil {
+		return wire.WhatIf{}, err
+	}
+	tm := arts[vipipe.NodeAnalyze].(*vipipe.Timing)
+	part := arts[vipipe.NodeIslands(strat)].(*vi.Partition)
+	m := arts[id].(*tmodel.Model)
+	out := wire.WhatIf{
+		Strategy: strat.String(),
+		Position: pos.Name,
+		ClockPS:  m.ClockPS,
+		Islands:  part.NumIslands(),
+	}
+	for i, qs := range req.Queries {
+		q := tmodel.Query{Raise: qs.Raise, Shifters: qs.Shifters}
+		if qs.Overlay != nil {
+			q.Overlay = &tmodel.Disc{
+				XMM: qs.Overlay.XMM, YMM: qs.Overlay.YMM,
+				RMM: qs.Overlay.RMM, DeltaFrac: qs.Overlay.DeltaFrac,
+			}
+		}
+		ans, err := vipipe.EvalWhatIf(cfg, tm, part, m, pos, q)
+		if err != nil {
+			return wire.WhatIf{}, flowerr.BadInputf("service: whatif query %d: %v", i, err)
+		}
+		if ans.Exact {
+			e.m.Inc("whatif.fallback")
+		} else {
+			e.m.Inc("whatif.composed")
+		}
+		out.Answers = append(out.Answers, wire.FromWhatIfAnswer(qs.Raise, qs.Shifters, ans))
 	}
 	return out, nil
 }

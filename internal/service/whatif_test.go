@@ -1,0 +1,102 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"vipipe/internal/service/wire"
+)
+
+// TestServiceWhatIf exercises the whatif job kind end to end: one
+// submission carrying composed queries plus one out-of-domain query,
+// answered against a single cached timing model, with the two serving
+// paths split in /metrics.
+func TestServiceWhatIf(t *testing.T) {
+	ts, _, _ := newTestServer(t, 2, 16)
+
+	req := Request{
+		Kind:     "whatif",
+		Strategy: "vertical",
+		Position: "B",
+		Queries: []WhatIfSpec{
+			{Raise: 0},
+			{Raise: 1, Shifters: true},
+			{Raise: 1, Overlay: &OverlaySpec{XMM: 0.3, YMM: 0.3, RMM: 0.2, DeltaFrac: 0.05}},
+			// DeltaFrac far beyond the model's validity domain forces
+			// the exact-STA fallback.
+			{Raise: 0, Overlay: &OverlaySpec{XMM: 0.3, YMM: 0.3, RMM: 0.2, DeltaFrac: 0.5}},
+		},
+		Config: tinySpec,
+	}
+	snap := submit(t, ts.URL, req, http.StatusAccepted)
+	done := waitState(t, ts.URL, snap.ID, func(s JobSnapshot) bool { return s.State.Terminal() })
+	if done.State != JobDone {
+		t.Fatalf("job finished %s (%s); want done", done.State, done.Error)
+	}
+
+	rr, err := http.Get(ts.URL + "/jobs/" + snap.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result = %d; want 200", rr.StatusCode)
+	}
+	var res wire.WhatIf
+	decodeBody(t, rr, &res)
+	if res.Strategy != "vertical" || res.Position != "B" || res.Islands == 0 {
+		t.Fatalf("result header = %+v; want vertical/B with islands", res)
+	}
+	if len(res.Answers) != len(req.Queries) {
+		t.Fatalf("got %d answers; want %d", len(res.Answers), len(req.Queries))
+	}
+	for i, ans := range res.Answers[:3] {
+		if ans.Exact {
+			t.Errorf("answer %d took the fallback; want composed", i)
+		}
+		if ans.BoundPS <= 0 || ans.CritPS <= 0 {
+			t.Errorf("answer %d = %+v; want positive crit and bound", i, ans)
+		}
+	}
+	if !res.Answers[1].Shifters || res.Answers[1].Crossings == 0 {
+		t.Errorf("shifter answer = %+v; want crossings folded in", res.Answers[1])
+	}
+	last := res.Answers[3]
+	if !last.Exact || last.BoundPS != 0 {
+		t.Errorf("out-of-domain answer = %+v; want exact fallback with zero bound", last)
+	}
+
+	ms := metricsSnapshot(t, ts.URL)
+	if got := ms.Counters["whatif.composed"]; got != 3 {
+		t.Errorf("whatif.composed = %d; want 3", got)
+	}
+	if got := ms.Counters["whatif.fallback"]; got != 1 {
+		t.Errorf("whatif.fallback = %d; want 1", got)
+	}
+}
+
+// TestServiceWhatIfValidation pins the synchronous rejections of the
+// whatif kind.
+func TestServiceWhatIfValidation(t *testing.T) {
+	e := NewEngine(NewCache(1<<20), nil)
+	bad := []Request{
+		{Kind: "whatif", Strategy: "diagonal", Position: "B",
+			Queries: []WhatIfSpec{{Raise: 0}}, Config: tinySpec},
+		{Kind: "whatif", Strategy: "vertical", Position: "Z",
+			Queries: []WhatIfSpec{{Raise: 0}}, Config: tinySpec},
+		{Kind: "whatif", Strategy: "vertical", Position: "B", Config: tinySpec},
+		{Kind: "whatif", Strategy: "vertical", Position: "B",
+			Queries: []WhatIfSpec{{Raise: -2}}, Config: tinySpec},
+		{Kind: "whatif", Strategy: "vertical", Position: "B",
+			Queries: []WhatIfSpec{{Raise: 0, Overlay: &OverlaySpec{RMM: -1}}}, Config: tinySpec},
+	}
+	for i, req := range bad {
+		if err := e.Validate(req); err == nil {
+			t.Errorf("request %d validated; want rejection", i)
+		}
+	}
+	ok := Request{Kind: "whatif", Strategy: "vertical", Position: "B",
+		Queries: []WhatIfSpec{{Raise: 2, Shifters: true}}, Config: tinySpec}
+	if err := e.Validate(ok); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}

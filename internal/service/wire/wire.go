@@ -18,6 +18,7 @@ import (
 	"vipipe/internal/mc"
 	"vipipe/internal/netlist"
 	"vipipe/internal/power"
+	"vipipe/internal/tmodel"
 	"vipipe/internal/vi"
 	"vipipe/internal/yield"
 )
@@ -228,6 +229,64 @@ type SweepEntry struct {
 type Sweep struct {
 	Strategy string       `json:"strategy"`
 	Entries  []SweepEntry `json:"entries"`
+}
+
+// WhatIfStage is one pipeline stage of a what-if answer.
+type WhatIfStage struct {
+	Stage        string  `json:"stage"`
+	WorstSlackPS float64 `json:"worst_slack_ps"`
+	Endpoint     int     `json:"endpoint"`
+}
+
+// WhatIfAnswer is the wire form of one composed (or fallback-exact)
+// what-if evaluation.
+type WhatIfAnswer struct {
+	Raise        int     `json:"raise"`
+	Shifters     bool    `json:"shifters,omitempty"`
+	CritPS       float64 `json:"crit_ps"`
+	FmaxMHz      float64 `json:"fmax_mhz"`
+	WorstSlackPS float64 `json:"worst_slack_ps"`
+	// BoundPS is the model's stated error bound; 0 when Exact, which
+	// marks an answer from the exact-STA fallback path.
+	BoundPS   float64       `json:"bound_ps"`
+	Exact     bool          `json:"exact"`
+	Crossings int           `json:"crossings,omitempty"`
+	ShifterPS float64       `json:"shifter_ps,omitempty"`
+	Stages    []WhatIfStage `json:"stages"`
+}
+
+// FromWhatIfAnswer converts an engine answer for the query echo
+// (raise, shifters).
+func FromWhatIfAnswer(raise int, shifters bool, a tmodel.Answer) WhatIfAnswer {
+	out := WhatIfAnswer{
+		Raise:        raise,
+		Shifters:     shifters,
+		CritPS:       a.CritPS,
+		FmaxMHz:      a.FmaxMHz,
+		WorstSlackPS: a.WorstSlackPS,
+		BoundPS:      a.BoundPS,
+		Exact:        a.Exact,
+		Crossings:    a.Crossings,
+		ShifterPS:    a.ShifterPS,
+	}
+	for _, st := range a.PerStage {
+		out.Stages = append(out.Stages, WhatIfStage{
+			Stage:        st.Stage.String(),
+			WorstSlackPS: st.WorstSlackPS,
+			Endpoint:     int(st.Endpoint),
+		})
+	}
+	return out
+}
+
+// WhatIf is the wire form of a whatif job: each query's answer in
+// request order against one cached timing model.
+type WhatIf struct {
+	Strategy string         `json:"strategy"`
+	Position string         `json:"position"`
+	ClockPS  float64        `json:"clock_ps"`
+	Islands  int            `json:"islands"`
+	Answers  []WhatIfAnswer `json:"answers"`
 }
 
 // YieldPoint is one exposure-field position of a yield surface.

@@ -1,0 +1,149 @@
+package sta
+
+import (
+	"math"
+
+	"vipipe/internal/netlist"
+)
+
+// StageLane is one pipeline stage's endpoint summary inside a Frame:
+// the structure-of-arrays counterpart of StageTiming.
+type StageLane struct {
+	Stage      netlist.Stage
+	WorstSlack float64
+	WorstArr   float64
+	Endpoint   int // instance of the worst endpoint (netlist.NoInst for a PO)
+	Endpoints  int
+}
+
+// Frame is the batch-friendly endpoint summary of one timing
+// evaluation: fixed-size per-stage lanes instead of RunInto's
+// per-sample map bookkeeping, so Monte Carlo loops can store sample
+// outcomes in flat arrays. All float results replicate RunInto's
+// addEndpoint expression sequence operation for operation and are
+// bit-identical to the corresponding Report fields.
+type Frame struct {
+	ClockPS    float64
+	CritPS     float64
+	WorstSlack float64
+	// Lanes is indexed by stage; Present marks stages that have at
+	// least one constrained endpoint (structural: the set does not
+	// vary with the scale vector).
+	Lanes   [netlist.NumStages]StageLane
+	Present [netlist.NumStages]bool
+	// Violators lists the flop instances with negative slack, in
+	// ascending instance order (primary outputs are excluded, exactly
+	// like the violator scan over Report.Endpoints).
+	Violators []int32
+}
+
+// RunFrame performs a full timing analysis and summarizes every
+// endpoint into f. The per-stage worst slack/arrival/endpoint, the
+// global worst slack and CritPS are bit-identical to the Report an
+// Analyzer.RunInto call produces for the same clock and scale.
+func (k *Kernel) RunFrame(f *Frame, clockPS float64, scale []float64) {
+	k.propagate(scale)
+	k.endpoints(f, clockPS, scale)
+}
+
+// endpoints evaluates every endpoint against the retained arrivals
+// into f. Flop D pins are scanned in ascending instance order, then
+// primary outputs — the same order RunInto appends Endpoints — so
+// tie-breaking on equal slacks matches too.
+func (k *Kernel) endpoints(f *Frame, clockPS float64, scale []float64) {
+	arr := k.arr
+	neg := math.Inf(-1)
+	f.ClockPS = clockPS
+	f.CritPS = 0
+	f.WorstSlack = math.Inf(1)
+	f.Violators = f.Violators[:0]
+	for s := range f.Lanes {
+		f.Lanes[s] = StageLane{Stage: netlist.Stage(s), WorstSlack: math.Inf(1)}
+		f.Present[s] = false
+	}
+	add := func(inst int, t, need, slack float64, stage netlist.Stage) {
+		if slack < f.WorstSlack {
+			f.WorstSlack = slack
+		}
+		if crit := t + (clockPS - need); crit > f.CritPS {
+			f.CritPS = crit
+		}
+		lane := &f.Lanes[stage]
+		f.Present[stage] = true
+		lane.Endpoints++
+		if slack < lane.WorstSlack {
+			lane.WorstSlack = slack
+			lane.WorstArr = t
+			lane.Endpoint = inst
+		}
+	}
+	for _, i := range k.seq {
+		need := clockPS - k.setup[i]*scale[i]
+		n := k.in0[i]
+		t := arr[n] + k.wire[n]
+		if t == neg {
+			continue // constant path: unconstrained
+		}
+		slack := need - t
+		add(i, t, need, slack, k.stage[i])
+		if slack < 0 {
+			f.Violators = append(f.Violators, int32(i))
+		}
+	}
+	for _, n := range k.pos {
+		t := arr[n] + k.wire[n]
+		if t == neg {
+			continue
+		}
+		add(netlist.NoInst, t, clockPS, clockPS-t, netlist.StageNone)
+	}
+}
+
+// KernelView exposes the kernel's flattened timing structure to model
+// extractors (internal/tmodel) that need to walk the timing graph with
+// the exact characterized delays the kernel times with. All slices
+// alias kernel state and must be treated as read-only.
+type KernelView struct {
+	// Order is the combinational topological order (instance IDs).
+	Order []int
+	// BasePS / SetupPS are nominal per-instance delays; WirePS is the
+	// per-net wire delay.
+	BasePS  []float64
+	SetupPS []float64
+	WirePS  []float64
+	// PIs / POs are primary-input and primary-output net IDs; Seq
+	// lists sequential instances in ascending instance order.
+	PIs []int
+	POs []int
+	Seq []int
+	// Out is the driven net per instance; InPtr/InNet is the CSR of
+	// input nets per instance.
+	Out   []int32
+	InPtr []int32
+	InNet []int32
+	IsTie []bool
+	IsSeq []bool
+	Stage []netlist.Stage
+}
+
+// View returns a read-only view of the kernel's timing structure.
+func (k *Kernel) View() KernelView {
+	return KernelView{
+		Order:   k.order,
+		BasePS:  k.base,
+		SetupPS: k.setup,
+		WirePS:  k.wire,
+		PIs:     k.pis,
+		POs:     k.pos,
+		Seq:     k.seq,
+		Out:     k.out,
+		InPtr:   k.inPtr,
+		InNet:   k.inNet,
+		IsTie:   k.isTie,
+		IsSeq:   k.isSeq,
+		Stage:   k.stage,
+	}
+}
+
+// NumNets returns the net count the kernel times.
+func (k *Kernel) NumNets() int { return len(k.arr) }

@@ -2,6 +2,8 @@ package sta
 
 import (
 	"math"
+
+	"vipipe/internal/netlist"
 )
 
 // Kernel is the structure-of-arrays fast path for Monte Carlo inner
@@ -35,6 +37,7 @@ type Kernel struct {
 	in0   []int32 // first input net per instance (endpoint net of a flop)
 	isTie []bool
 	isSeq []bool
+	stage []netlist.Stage // pipeline stage per instance
 
 	// Input nets per instance, CSR over all instances.
 	inPtr []int32
@@ -69,6 +72,7 @@ func NewKernel(a *Analyzer) *Kernel {
 		in0:   make([]int32, nCells),
 		isTie: make([]bool, nCells),
 		isSeq: make([]bool, nCells),
+		stage: make([]netlist.Stage, nCells),
 		inPtr: make([]int32, nCells+1),
 		arr:   make([]float64, nNets),
 		mark:  make([]uint32, nCells),
@@ -85,6 +89,7 @@ func NewKernel(a *Analyzer) *Kernel {
 		}
 		k.isTie[i] = c.IsTie()
 		k.isSeq[i] = c.Sequential
+		k.stage[i] = inst.Stage
 		if c.Sequential {
 			k.seq = append(k.seq, i)
 		}
@@ -129,6 +134,13 @@ func (k *Kernel) NumCells() int { return len(k.out) }
 // the same clock and scale. scale must have NumCells entries. The
 // arrival state is retained for a subsequent Rerun.
 func (k *Kernel) Run(clockPS float64, scale []float64) float64 {
+	k.propagate(scale)
+	return k.critical(clockPS, scale)
+}
+
+// propagate performs the full arrival propagation for a scale vector,
+// leaving the result in the retained arrival buffer.
+func (k *Kernel) propagate(scale []float64) {
 	arr := k.arr
 	neg := math.Inf(-1)
 	for n := range arr {
@@ -156,7 +168,6 @@ func (k *Kernel) Run(clockPS float64, scale []float64) float64 {
 		}
 		arr[k.out[i]] = worst + k.base[i]*scale[i]
 	}
-	return k.critical(clockPS, scale)
 }
 
 // critical evaluates every endpoint against the retained arrivals,

@@ -77,13 +77,14 @@ func (a *Analyzer) SlackRecoveryCtx(ctx context.Context, clockPS float64, target
 		return f * clockPS
 	}
 	rep := &Report{}
+	req := make([]float64, a.NL.NumNets())
 	const tolPS = 2.0
 	for iter := 0; iter < iterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return derate, flowerr.Cancelledf("sta: slack recovery cancelled after %d/%d iterations: %w", iter, iterations, err)
 		}
 		a.RunInto(rep, clockPS, derate)
-		req := a.requiredTimes(rep, derate, tau)
+		a.requiredTimesInto(req, rep, derate, tau)
 		changed := false
 		for i := range a.NL.Insts {
 			// Registers are never resized: derating a flop would
@@ -137,10 +138,13 @@ func (a *Analyzer) SlackRecoveryCtx(ctx context.Context, clockPS float64, target
 	return derate, nil
 }
 
-// requiredTimes runs the backward pass: the latest time each net may
-// switch such that every downstream endpoint meets its target. tau
-// gives the absolute target per endpoint.
-func (a *Analyzer) requiredTimes(rep *Report, scale []float64, tau func(*Endpoint) float64) []float64 {
+// requiredTimesInto runs the backward pass: the latest time each net
+// may switch such that every downstream endpoint meets its target. tau
+// gives the absolute target per endpoint. req is caller-owned storage
+// with NumNets entries, hoisted out of the relaxation loop; it is
+// fully reinitialized, so reuse returns the same bits a fresh buffer
+// would.
+func (a *Analyzer) requiredTimesInto(req []float64, rep *Report, scale []float64, tau func(*Endpoint) float64) {
 	nl := a.NL
 	sc := func(i int) float64 {
 		if scale == nil {
@@ -148,7 +152,6 @@ func (a *Analyzer) requiredTimes(rep *Report, scale []float64, tau func(*Endpoin
 		}
 		return scale[i]
 	}
-	req := make([]float64, nl.NumNets())
 	for i := range req {
 		req[i] = math.Inf(1)
 	}
@@ -178,5 +181,4 @@ func (a *Analyzer) requiredTimes(rep *Report, scale []float64, tau func(*Endpoin
 			}
 		}
 	}
-	return req
 }

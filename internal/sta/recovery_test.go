@@ -88,7 +88,8 @@ func TestRequiredTimesConsistentWithSlack(t *testing.T) {
 	a := analyze(t, nl)
 	clock := 5000.0
 	rep := a.Run(clock, nil)
-	req := a.requiredTimes(rep, nil, func(ep *Endpoint) float64 { return clock })
+	req := make([]float64, nl.NumNets())
+	a.requiredTimesInto(req, rep, nil, func(ep *Endpoint) float64 { return clock })
 	// For each endpoint net, req = clock - setup - wire, and slack
 	// computed from req must match the report's endpoint slack.
 	for _, ep := range rep.Endpoints {

@@ -1,0 +1,191 @@
+package tmodel
+
+import (
+	"fmt"
+	"math"
+
+	"vipipe/internal/flowerr"
+	"vipipe/internal/netlist"
+	"vipipe/internal/sta"
+)
+
+// ovCtx is the per-query overlay pricing context.
+type ovCtx struct {
+	xmm, ymm, r2 float64
+	deltaNM      float64
+	loScaler     func(float64) float64
+	hiScaler     func(float64) float64
+}
+
+// Eval answers one what-if query by re-pricing the stored path
+// signatures, in microseconds instead of a full STA walk. The answer
+// is exact-within-BoundPS for in-domain queries; out-of-domain queries
+// (raise beyond the island count, overlay excursion beyond
+// MaxDeltaFrac) fail with an error wrapping ErrOutOfDomain so the
+// caller can fall back to exact STA.
+func (m *Model) Eval(q Query) (Answer, error) {
+	if q.Raise < 0 || q.Raise > m.Islands {
+		return Answer{}, fmt.Errorf("%w: raise %d outside 0..%d", ErrOutOfDomain, q.Raise, m.Islands)
+	}
+	var ov *ovCtx
+	if q.Overlay != nil {
+		if q.Overlay.RMM <= 0 {
+			return Answer{}, flowerr.BadInputf("tmodel: overlay radius %g must be positive", q.Overlay.RMM)
+		}
+		if math.Abs(q.Overlay.DeltaFrac) > m.MaxDeltaFrac {
+			return Answer{}, fmt.Errorf("%w: overlay delta %g beyond validated ±%g",
+				ErrOutOfDomain, q.Overlay.DeltaFrac, m.MaxDeltaFrac)
+		}
+		ov = &ovCtx{
+			xmm:      q.Overlay.XMM,
+			ymm:      q.Overlay.YMM,
+			r2:       q.Overlay.RMM * q.Overlay.RMM,
+			deltaNM:  m.LnomNM * q.Overlay.DeltaFrac,
+			loScaler: m.Tech.DelayScaler(m.Tech.VddLow),
+			hiScaler: m.Tech.DelayScaler(m.Tech.VddHigh),
+		}
+	}
+
+	ans := Answer{WorstSlackPS: math.Inf(1), BoundPS: m.BoundPS}
+	var lanes [netlist.NumStages]StageAnswer
+	var present [netlist.NumStages]bool
+	for s := range lanes {
+		lanes[s].WorstSlackPS = math.Inf(1)
+	}
+	raise := int32(q.Raise)
+	// Overlay queries price each interned cell once up front — paths
+	// share cells heavily, and the Vdd scaler is the expensive part —
+	// so the per-sig walk below is pure adds.
+	var scales []float64
+	if ov != nil {
+		scales = m.queryScales(raise, ov)
+	}
+	for i := range m.Sigs {
+		s := &m.Sigs[i]
+		var t float64
+		if ov == nil {
+			// Raise-only fast path: group sums, O(Islands) per sig.
+			t = s.WireSum
+			for g := 1; g < len(s.SumLo); g++ {
+				if int32(g) <= raise {
+					t += s.SumHi[g]
+				} else {
+					t += s.SumLo[g]
+				}
+			}
+		} else {
+			t = m.walkSig(s, scales)
+		}
+		need := m.ClockPS
+		if s.Cap >= 0 {
+			setupScale := m.cellScale(s.Cap, raise, ov)
+			if ov != nil {
+				setupScale = scales[s.Cap]
+			}
+			need = m.ClockPS - m.Cells.SetupPS[s.Cap]*setupScale
+		}
+		var cross int
+		if q.Shifters {
+			cross = m.crossings(s)
+			t += float64(cross) * m.ShifterPS
+		}
+		slack := need - t
+		if c := t + (m.ClockPS - need); c > ans.CritPS {
+			ans.CritPS = c
+			ans.Crossings = cross
+			if q.Shifters {
+				ans.ShifterPS = float64(cross) * m.ShifterPS
+			}
+		}
+		if slack < ans.WorstSlackPS {
+			ans.WorstSlackPS = slack
+		}
+		if slack < lanes[s.Stage].WorstSlackPS {
+			lanes[s.Stage] = StageAnswer{Stage: s.Stage, WorstSlackPS: slack, Endpoint: s.Ep}
+		}
+		present[s.Stage] = true
+	}
+	for st := netlist.Stage(0); st < netlist.NumStages; st++ {
+		if present[st] {
+			ans.PerStage = append(ans.PerStage, lanes[st])
+		}
+	}
+	ans.FmaxMHz = sta.FmaxMHz(ans.CritPS)
+	return ans, nil
+}
+
+// cellScale prices one cell's delay scale under the query: the
+// precomputed supply scale, unless the cell sits inside the overlay
+// disc, in which case it is re-priced at the excursed gate length —
+// the exact recipe the full-STA path applies.
+func (m *Model) cellScale(c int32, raise int32, ov *ovCtx) float64 {
+	raised := m.Cells.Group[c] <= raise
+	if ov != nil {
+		dx := m.Cells.XUM[c]/1000 - ov.xmm
+		dy := m.Cells.YUM[c]/1000 - ov.ymm
+		if dx*dx+dy*dy <= ov.r2 {
+			lg := m.Cells.LgNM[c] + ov.deltaNM
+			s := ov.loScaler(lg)
+			if raised {
+				s = ov.hiScaler(lg)
+			}
+			return s * m.Cells.Derate[c]
+		}
+	}
+	if raised {
+		return m.Cells.HiScale[c]
+	}
+	return m.Cells.LoScale[c]
+}
+
+// queryScales prices every interned cell under the query, the exact
+// per-cell recipe of cellScale applied once per cell instead of once
+// per (sig, cell) visit.
+func (m *Model) queryScales(raise int32, ov *ovCtx) []float64 {
+	n := m.Cells.NumCells()
+	scales := make([]float64, n)
+	for c := 0; c < n; c++ {
+		scales[c] = m.cellScale(int32(c), raise, ov)
+	}
+	return scales
+}
+
+// walkSig prices a signature cell by cell in path order over the
+// query's precomputed scale vector, for overlay queries where group
+// sums cannot apply.
+func (m *Model) walkSig(s *Sig, scales []float64) float64 {
+	t := 0.0
+	if s.Launch >= 0 {
+		t = m.Cells.BasePS[s.Launch] * scales[s.Launch]
+	}
+	for j, c := range s.Hops {
+		t += s.HopWire[j]
+		t += m.Cells.BasePS[c] * scales[c]
+	}
+	return t + s.CapWire
+}
+
+// crossings counts the level-shifter sites along a signature's cell
+// chain: nets whose sink sits in a lower (inner) island group than the
+// driver, where the island flow inserts a shifter.
+func (m *Model) crossings(s *Sig) int {
+	cross := 0
+	prev := int32(-1)
+	step := func(c int32) {
+		g := m.Cells.Group[c]
+		if prev >= 0 && g < prev {
+			cross++
+		}
+		prev = g
+	}
+	if s.Launch >= 0 {
+		step(s.Launch)
+	}
+	for _, c := range s.Hops {
+		step(c)
+	}
+	if s.Cap >= 0 {
+		step(s.Cap)
+	}
+	return cross
+}

@@ -1,0 +1,63 @@
+package tmodel
+
+import "vipipe/internal/flowerr"
+
+// Merge unions compatible models extracted from the same placed
+// netlist (e.g. per-stage or per-corner partial extractions) into one.
+// The result depends only on the set of signatures across the inputs:
+// merging in any order, or with any grouping of signatures across the
+// inputs, produces a byte-identical model. The merged bound is the
+// worst of the inputs' bounds.
+func Merge(ms ...*Model) (*Model, error) {
+	if len(ms) == 0 {
+		return nil, flowerr.BadInputf("tmodel: merge of zero models")
+	}
+	base := ms[0]
+	for _, m := range ms[1:] {
+		if m.ClockPS != base.ClockPS || m.Islands != base.Islands ||
+			m.MaxDeltaFrac != base.MaxDeltaFrac || m.LnomNM != base.LnomNM ||
+			m.Tech != base.Tech || m.ShifterPS != base.ShifterPS ||
+			m.Pos != base.Pos || m.Strategy != base.Strategy {
+			return nil, flowerr.BadInputf("tmodel: merge of incompatible models (%s/%s vs %s/%s)",
+				base.Strategy, base.Pos, m.Strategy, m.Pos)
+		}
+	}
+
+	// Union signatures in global-ID space, remembering which model can
+	// supply each referenced cell's data.
+	var sigs []gsig
+	seen := make(map[string]bool)
+	cellSrc := make(map[int32]cellData)
+	for _, m := range ms {
+		for li, g := range m.Cells.Inst {
+			if _, ok := cellSrc[g]; !ok {
+				cellSrc[g] = m.cellDataAt(int32(li))
+			}
+		}
+		for _, s := range m.globalSigs() {
+			if k := s.key(); !seen[k] {
+				seen[k] = true
+				sigs = append(sigs, s)
+			}
+		}
+	}
+
+	out := assemble(modelMeta{
+		ClockPS:      base.ClockPS,
+		Islands:      base.Islands,
+		MaxDeltaFrac: base.MaxDeltaFrac,
+		LnomNM:       base.LnomNM,
+		Tech:         base.Tech,
+		ShifterPS:    base.ShifterPS,
+		Pos:          base.Pos,
+		Strategy:     base.Strategy,
+	}, sigs, func(g int32) cellData { return cellSrc[g] })
+	bound := 0.0
+	for _, m := range ms {
+		if m.BoundPS > bound {
+			bound = m.BoundPS
+		}
+	}
+	out.BoundPS = bound
+	return out, nil
+}

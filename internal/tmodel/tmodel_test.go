@@ -1,0 +1,423 @@
+package tmodel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vipipe/internal/cell"
+	"vipipe/internal/netlist"
+	"vipipe/internal/place"
+	"vipipe/internal/sta"
+	"vipipe/internal/variation"
+	"vipipe/internal/vex"
+)
+
+// regionNone mirrors vi.RegionNone (not imported: vi depends on
+// tmodel for its model-backed checks).
+const regionNone = math.MaxInt32
+
+// fix is the shared extraction fixture: the small vex core with a
+// synthetic two-island region split by x position.
+type fix struct {
+	a    *sta.Analyzer
+	kern *sta.Kernel
+	in   ExtractInput
+}
+
+func newFix(t *testing.T) *fix {
+	t.Helper()
+	core, err := vex.Build(vex.SmallConfig(), cell.Default65nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Global(core.NL, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sta.New(core.NL, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := a.Run(1e9, nil).CritPS * 1.02
+	derate := a.SlackRecovery(clock, sta.DefaultRecoveryTargets(), 12, 10)
+	kern := sta.NewKernel(a)
+	n := kern.NumCells()
+
+	vm := variation.Default()
+	lg := make([]float64, n)
+	xum := make([]float64, n)
+	yum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cx, cy := pl.Center(i)
+		xum[i], yum[i] = cx, cy
+		lg[i] = vm.SystematicLgateNM(1+cx/1000, 1+cy/1000)
+	}
+	// Two nested islands by x position: inner third region 1, middle
+	// third region 2, the rest outside every island.
+	xs := append([]float64(nil), xum...)
+	sort.Float64s(xs)
+	t1, t2 := xs[n/3], xs[2*n/3]
+	region := make([]int32, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case xum[i] <= t1:
+			region[i] = 1
+		case xum[i] <= t2:
+			region[i] = 2
+		default:
+			region[i] = regionNone
+		}
+	}
+
+	return &fix{a: a, kern: kern, in: ExtractInput{
+		View:          kern.View(),
+		ClockPS:       clock,
+		Region:        region,
+		Islands:       2,
+		LgNM:          lg,
+		Derate:        derate,
+		XUM:           xum,
+		YUM:           yum,
+		Tech:          core.NL.Lib.Tech,
+		LnomNM:        vm.LnomNM,
+		ShifterPS:     12,
+		Pos:           "center",
+		Strategy:      "grid",
+		PathsPerStage: 4,
+		MaxDeltaFrac:  0.08,
+	}}
+}
+
+// exactScale builds the full per-instance scale vector for a query,
+// with the same recipe the extractor validates against.
+func (f *fix) exactScale(raise int, ov *Disc) []float64 {
+	in := &f.in
+	n := len(in.LgNM)
+	loS := in.Tech.DelayScaler(in.Tech.VddLow)
+	hiS := in.Tech.DelayScaler(in.Tech.VddHigh)
+	var deltaNM, r2 float64
+	if ov != nil {
+		deltaNM = in.LnomNM * ov.DeltaFrac
+		r2 = ov.RMM * ov.RMM
+	}
+	scale := make([]float64, n)
+	for i := 0; i < n; i++ {
+		raised := in.Region[i] >= 1 && in.Region[i] <= int32(raise)
+		lg := in.LgNM[i]
+		if ov != nil {
+			dx := in.XUM[i]/1000 - ov.XMM
+			dy := in.YUM[i]/1000 - ov.YMM
+			if dx*dx+dy*dy <= r2 {
+				lg += deltaNM
+			}
+		}
+		s := loS(lg)
+		if raised {
+			s = hiS(lg)
+		}
+		scale[i] = s * in.Derate[i]
+	}
+	return scale
+}
+
+func encodeModel(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEquivalenceWithinBound pins composed answers to full STA within
+// the model's stated bound, on queries distinct from the validation
+// probes (intermediate overlay positions and excursions, all raises).
+func TestEquivalenceWithinBound(t *testing.T) {
+	f := newFix(t)
+	m, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BoundPS <= 0 {
+		t.Fatalf("BoundPS = %g, want > 0", m.BoundPS)
+	}
+	minX, maxX := minMax(f.in.XUM)
+	minY, maxY := minMax(f.in.YUM)
+	span := math.Max(maxX-minX, maxY-minY) / 1000
+	var discs []*Disc
+	discs = append(discs, nil)
+	for _, fx := range []float64{0.45, 0.6} {
+		for _, df := range []float64{-0.04, 0.03, 0.08} {
+			discs = append(discs, &Disc{
+				XMM:       (minX + fx*(maxX-minX)) / 1000,
+				YMM:       (minY + (1-fx)*(maxY-minY)) / 1000,
+				RMM:       0.3 * span,
+				DeltaFrac: df,
+			})
+		}
+	}
+	frame := &sta.Frame{}
+	for raise := 0; raise <= f.in.Islands; raise++ {
+		for di, ov := range discs {
+			ans, err := m.Eval(Query{Raise: raise, Overlay: ov})
+			if err != nil {
+				t.Fatalf("raise %d disc %d: %v", raise, di, err)
+			}
+			f.kern.RunFrame(frame, f.in.ClockPS, f.exactScale(raise, ov))
+			if gap := frame.CritPS - ans.CritPS; gap > m.BoundPS || gap < -1e-6 {
+				t.Errorf("raise %d disc %d: crit gap %g outside (-1e-6, bound %g]; exact %g composed %g",
+					raise, di, gap, m.BoundPS, frame.CritPS, ans.CritPS)
+			}
+			for _, sa := range ans.PerStage {
+				if !frame.Present[sa.Stage] {
+					t.Errorf("raise %d disc %d: stage %v composed but absent exactly", raise, di, sa.Stage)
+					continue
+				}
+				if gap := sa.WorstSlackPS - frame.Lanes[sa.Stage].WorstSlack; gap > m.BoundPS || gap < -1e-6 {
+					t.Errorf("raise %d disc %d stage %v: slack gap %g outside (-1e-6, bound %g]",
+						raise, di, sa.Stage, gap, m.BoundPS)
+				}
+			}
+			if ans.Exact {
+				t.Errorf("composed answer marked exact")
+			}
+			if math.Abs(ans.FmaxMHz-sta.FmaxMHz(ans.CritPS)) > 1e-12 {
+				t.Errorf("FmaxMHz inconsistent with CritPS")
+			}
+		}
+	}
+}
+
+// TestRaiseMonotonic sanity-checks composition physics: raising more
+// islands never slows the composed critical path.
+func TestRaiseMonotonic(t *testing.T) {
+	f := newFix(t)
+	m, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for raise := 0; raise <= m.Islands; raise++ {
+		ans, err := m.Eval(Query{Raise: raise})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.CritPS > prev+1e-9 {
+			t.Fatalf("raise %d crit %g exceeds raise %d crit %g", raise, ans.CritPS, raise-1, prev)
+		}
+		prev = ans.CritPS
+	}
+}
+
+// TestDeterministicExtraction locks byte-identical re-extraction.
+func TestDeterministicExtraction(t *testing.T) {
+	f := newFix(t)
+	m1, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := encodeModel(t, m1), encodeModel(t, m2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("re-extraction changed the encoding: %d vs %d bytes", len(b1), len(b2))
+	}
+}
+
+// TestMergeOrderInvariance splits a model's signatures across stage
+// groupings and proves any merge order/grouping rebuilds the identical
+// bytes — including a self-merge.
+func TestMergeOrderInvariance(t *testing.T) {
+	f := newFix(t)
+	m, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeModel(t, m)
+
+	// Self-merge must be the identity.
+	self, err := Merge(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeModel(t, self), want) {
+		t.Fatalf("self-merge changed the encoding")
+	}
+
+	// Split signatures into submodels by stage parity, then by
+	// round-robin — two different groupings of the same set.
+	meta := modelMeta{
+		ClockPS: m.ClockPS, Islands: m.Islands, MaxDeltaFrac: m.MaxDeltaFrac,
+		LnomNM: m.LnomNM, Tech: m.Tech, ShifterPS: m.ShifterPS,
+		Pos: m.Pos, Strategy: m.Strategy,
+	}
+	localOf := make(map[int32]int32)
+	for li, g := range m.Cells.Inst {
+		localOf[g] = int32(li)
+	}
+	cellAt := func(g int32) cellData { return m.cellDataAt(localOf[g]) }
+	sub := func(pick func(i int, g *gsig) bool) *Model {
+		var sel []gsig
+		for i, g := range m.globalSigs() {
+			if pick(i, &g) {
+				sel = append(sel, g)
+			}
+		}
+		sm := assemble(meta, sel, cellAt)
+		sm.BoundPS = m.BoundPS
+		return sm
+	}
+	byStageA := sub(func(_ int, g *gsig) bool { return g.stage%2 == 0 })
+	byStageB := sub(func(_ int, g *gsig) bool { return g.stage%2 == 1 })
+	rrA := sub(func(i int, _ *gsig) bool { return i%2 == 0 })
+	rrB := sub(func(i int, _ *gsig) bool { return i%2 == 1 })
+
+	for name, parts := range map[string][]*Model{
+		"stage":          {byStageA, byStageB},
+		"stage-reversed": {byStageB, byStageA},
+		"roundrobin":     {rrA, rrB},
+		"mixed":          {rrB, byStageA, byStageB, rrA},
+	} {
+		got, err := Merge(parts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(encodeModel(t, got), want) {
+			t.Errorf("%s merge diverged from the full model", name)
+		}
+	}
+}
+
+// TestOutOfDomain locks the fallback trigger: raises beyond the island
+// count and overlay excursions beyond the validated range report
+// ErrOutOfDomain; malformed discs are plain bad input.
+func TestOutOfDomain(t *testing.T) {
+	f := newFix(t)
+	m, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{
+		{Raise: -1},
+		{Raise: m.Islands + 1},
+		{Overlay: &Disc{XMM: 0.1, YMM: 0.1, RMM: 0.2, DeltaFrac: m.MaxDeltaFrac * 1.5}},
+	} {
+		if _, err := m.Eval(q); !errors.Is(err, ErrOutOfDomain) {
+			t.Errorf("query %+v: error %v, want ErrOutOfDomain", q, err)
+		}
+	}
+	if _, err := m.Eval(Query{Overlay: &Disc{RMM: -1}}); err == nil || errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("negative radius: error %v, want plain bad input", err)
+	}
+}
+
+// TestShifterEstimate verifies a shifter query only ever adds delay
+// and reports the penalty it folded in.
+func TestShifterEstimate(t *testing.T) {
+	f := newFix(t)
+	m, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.Eval(Query{Raise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := m.Eval(Query{Raise: 1, Shifters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.CritPS < plain.CritPS {
+		t.Fatalf("shifter query sped the path up: %g < %g", shifted.CritPS, plain.CritPS)
+	}
+	if shifted.ShifterPS != float64(shifted.Crossings)*m.ShifterPS {
+		t.Fatalf("penalty %g inconsistent with %d crossings x %g", shifted.ShifterPS, shifted.Crossings, m.ShifterPS)
+	}
+}
+
+// TestThresholdModelMatchesExact pins the boundary-search model: exact
+// (to float noise) at its probe bounds, a lower bound in between.
+func TestThresholdModelMatchesExact(t *testing.T) {
+	f := newFix(t)
+	n := f.kern.NumCells()
+	rng := rand.New(rand.NewSource(3))
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo[i] = 0.9 + 0.3*rng.Float64()
+		hi[i] = lo[i] * (0.8 + 0.05*rng.Float64())
+	}
+	minX, maxX := minMax(f.in.XUM)
+	probes := []float64{
+		minX + 0.25*(maxX-minX),
+		minX + 0.5*(maxX-minX),
+		minX + 0.75*(maxX-minX),
+	}
+	tm, err := ExtractThreshold(ThresholdInput{
+		View:    f.in.View,
+		ClockPS: f.in.ClockPS,
+		Axis:    f.in.XUM,
+		LoScale: lo,
+		HiScale: hi,
+		Probes:  probes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.NumSigs() == 0 {
+		t.Fatal("no signatures stored")
+	}
+	scale := make([]float64, n)
+	exact := func(bound float64) float64 {
+		for i := 0; i < n; i++ {
+			if f.in.XUM[i] <= bound {
+				scale[i] = hi[i]
+			} else {
+				scale[i] = lo[i]
+			}
+		}
+		return f.kern.Run(f.in.ClockPS, scale)
+	}
+	for _, b := range probes {
+		if gap := math.Abs(exact(b) - tm.EvalBound(b).CritPS); gap > 1e-6 {
+			t.Errorf("probe bound %g: gap %g, want exact", b, gap)
+		}
+	}
+	for frac := 0.1; frac < 1; frac += 0.1 {
+		b := minX + frac*(maxX-minX)
+		ex, got := exact(b), tm.EvalBound(b).CritPS
+		if got > ex+1e-6 {
+			t.Errorf("bound %g: composed %g exceeds exact %g", b, got, ex)
+		}
+		if got < 0.97*ex {
+			t.Errorf("bound %g: composed %g far below exact %g", b, got, ex)
+		}
+	}
+}
+
+// TestModelCoversAllStages checks extraction keeps every pipeline
+// stage the design constrains.
+func TestModelCoversAllStages(t *testing.T) {
+	f := newFix(t)
+	m, err := Extract(f.in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.a.Run(f.in.ClockPS, nil)
+	covered := map[netlist.Stage]bool{}
+	for _, s := range m.Sigs {
+		covered[s.Stage] = true
+	}
+	for st, lane := range rep.PerStage {
+		if lane != nil && !covered[netlist.Stage(st)] {
+			t.Errorf("stage %v constrained but not modeled", netlist.Stage(st))
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"vipipe/internal/pipeline"
 	"vipipe/internal/power"
 	"vipipe/internal/stats"
+	"vipipe/internal/tmodel"
 	"vipipe/internal/variation"
 	"vipipe/internal/yield"
 )
@@ -26,6 +27,7 @@ import (
 //	drc               *drc.Report
 //	field/surface/... *yield.Surface
 //	field/...         *yield.ShardStat (the warm re-sweep currency)
+//	tmodel/...        *tmodel.Model    (compact what-if timing models)
 //
 // Engine-state artifacts — synth, place, analyze, workload, vi/* —
 // return a nil codec and stay in the memory tier: they hold live
@@ -51,6 +53,8 @@ func DiskCodecs() pipeline.Codecs {
 			return gobPointer[yield.Surface]{}
 		case strings.HasPrefix(nodeID, "field/"):
 			return gobPointer[yield.ShardStat]{}
+		case strings.HasPrefix(nodeID, "tmodel/"):
+			return gobPointer[tmodel.Model]{}
 		}
 		return nil
 	}

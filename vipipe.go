@@ -55,6 +55,7 @@ import (
 	"vipipe/internal/power"
 	"vipipe/internal/razor"
 	"vipipe/internal/sta"
+	"vipipe/internal/tmodel"
 	"vipipe/internal/variation"
 	"vipipe/internal/vex"
 	"vipipe/internal/vexsim"
@@ -353,6 +354,34 @@ func (f *Flow) GenerateIslands(ctx context.Context, strategy vi.Strategy) (*vi.P
 		return nil, err
 	}
 	return arts[NodeIslands(strategy)].(*vi.Partition), nil
+}
+
+// TimingModel returns the compact interface timing model for a
+// strategy at a chip position, extracting it (and its dependency
+// closure) on first use; repeated calls hit the graph's artifact
+// cache, and a disk-tier store survives restarts.
+func (f *Flow) TimingModel(ctx context.Context, strategy vi.Strategy, pos variation.Pos) (*tmodel.Model, error) {
+	id := NodeTimingModel(strategy, pos.Name)
+	arts, err := f.request(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return arts[id].(*tmodel.Model), nil
+}
+
+// WhatIf answers a what-if query against the cached timing model,
+// falling back to one exact STA evaluation when the query leaves the
+// model's validity domain (see EvalWhatIf).
+func (f *Flow) WhatIf(ctx context.Context, strategy vi.Strategy, pos variation.Pos, q tmodel.Query) (tmodel.Answer, error) {
+	id := NodeTimingModel(strategy, pos.Name)
+	arts, err := f.request(ctx, id, NodeAnalyze, NodeIslands(strategy))
+	if err != nil {
+		return tmodel.Answer{}, err
+	}
+	return EvalWhatIf(f.Cfg,
+		arts[NodeAnalyze].(*Timing),
+		arts[NodeIslands(strategy)].(*vi.Partition),
+		arts[id].(*tmodel.Model), pos, q)
 }
 
 // InsertShifters splices the partition's level shifters into the
