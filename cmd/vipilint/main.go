@@ -4,11 +4,18 @@
 //
 //	vipilint [flags] [root]
 //
-// root defaults to the current directory. Exit codes follow the
-// flowerr convention: 0 when the tree is clean, the ErrDRC code when
-// findings remain (lint findings are design-rule violations on the
-// source), and the ErrBadInput code when the driver itself fails
-// (unreadable root, unparsable source).
+// root defaults to the current directory. By default the full typed
+// analysis runs: the tree is loaded under go/types and the dataflow
+// rules (artifactalias, sharedcapture) join the upgraded core rules.
+// -fast skips type checking and runs the AST layer only — the
+// pre-commit mode, an order of magnitude cheaper; do not combine it
+// with -strict, because suppressions of typed-only findings look
+// stale to the AST layer.
+//
+// Exit codes follow the flowerr convention: 0 when the tree is clean,
+// the ErrDRC code when findings remain (lint findings are design-rule
+// violations on the source), and the ErrBadInput code when the driver
+// itself fails (unreadable root, unparsable source).
 package main
 
 import (
@@ -26,6 +33,7 @@ func main() {
 	app := cliutil.New("vipilint")
 	app.JSONFlag()
 	strict := flag.Bool("strict", false, "also report stale //lint:ignore directives that suppress nothing")
+	fast := flag.Bool("fast", false, "AST-only mode: skip go/types loading and the dataflow rules (pre-commit speed)")
 	rules := flag.Bool("rules", false, "list the rules and exit")
 	flag.Parse()
 
@@ -40,7 +48,7 @@ func main() {
 	if flag.NArg() > 0 {
 		root = flag.Arg(0)
 	}
-	diags, err := lint.Run(root, lint.Options{Strict: *strict})
+	diags, err := lint.Run(root, lint.Options{Strict: *strict, Typed: !*fast})
 	if err != nil {
 		app.Fatal(err)
 	}

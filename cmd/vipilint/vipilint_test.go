@@ -90,6 +90,120 @@ func TestExitCodes(t *testing.T) {
 	}
 }
 
+// poisonTree is a minimal module that type-checks cleanly and
+// contains one cache-poisoning bug only the typed layer can see: a
+// compute function mutating its deps slice in place.
+var poisonTree = map[string]string{
+	"go.mod": "module vipipe\n\ngo 1.22\n",
+	"internal/pipeline/pipeline.go": `package pipeline
+
+import "context"
+
+type Node struct {
+	ID      string
+	Deps    []string
+	Compute func(ctx context.Context, deps map[string]any) (any, error)
+}
+
+type Graph struct{ nodes []Node }
+
+func (g *Graph) MustAdd(n Node) { g.nodes = append(g.nodes, n) }
+func (g *Graph) Request(_ context.Context, ids []string) (map[string]any, error) {
+	return nil, nil
+}
+`,
+	"flow.go": `package main
+
+import (
+	"context"
+	"sort"
+
+	"vipipe/internal/pipeline"
+)
+
+func Register(g *pipeline.Graph) {
+	g.MustAdd(pipeline.Node{
+		ID:   "sorted",
+		Deps: []string{"samples"},
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) {
+			xs := deps["samples"].([]float64)
+			sort.Float64s(xs)
+			return xs, nil
+		},
+	})
+}
+`,
+}
+
+// TestTypedRules drives the artifact-ownership analysis through the
+// built binary: the default (typed) mode catches the in-place sort of
+// a dep and exits ExitDRC; -fast cannot see it and exits clean.
+func TestTypedRules(t *testing.T) {
+	bin := buildLint(t)
+
+	root := writeTree(t, poisonTree)
+	out, err := exec.Command(bin, root).CombinedOutput()
+	if code := exitCode(t, err); code != flowerr.ExitDRC {
+		t.Errorf("typed run: exit %d, want %d (ExitDRC)\n%s", code, flowerr.ExitDRC, out)
+	}
+	if !strings.Contains(string(out), "artifactalias") || !strings.Contains(string(out), "sort.Float64s") {
+		t.Errorf("typed run output missing the artifactalias finding:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-fast", root).CombinedOutput()
+	if code := exitCode(t, err); code != flowerr.ExitOK {
+		t.Errorf("-fast run: exit %d, want 0 (typed-only finding must stay silent)\n%s", code, out)
+	}
+}
+
+// TestTypedJSON checks the machine-readable shape of a typed finding.
+func TestTypedJSON(t *testing.T) {
+	bin := buildLint(t)
+
+	root := writeTree(t, poisonTree)
+	out, err := exec.Command(bin, "-json", root).Output()
+	if code := exitCode(t, err); code != flowerr.ExitDRC {
+		t.Fatalf("typed -json run: exit %d, want %d", code, flowerr.ExitDRC)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(diags) != 1 || diags[0].Rule != "artifactalias" || diags[0].File != "flow.go" || diags[0].Line == 0 {
+		t.Errorf("unexpected diagnostics: %+v", diags)
+	}
+}
+
+// TestBrokenPackageFallback checks the degraded path: a package that
+// does not type-check surfaces as a `lint` diagnostic and its files
+// still get the AST rules.
+func TestBrokenPackageFallback(t *testing.T) {
+	bin := buildLint(t)
+
+	root := writeTree(t, map[string]string{
+		"go.mod": "module vipipe\n\ngo 1.22\n",
+		"internal/mc/bad.go": `package mc
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Broken() NoSuchType { return nil }
+`,
+	})
+	out, err := exec.Command(bin, root).CombinedOutput()
+	if code := exitCode(t, err); code != flowerr.ExitDRC {
+		t.Errorf("broken package: exit %d, want %d\n%s", code, flowerr.ExitDRC, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "does not type-check") {
+		t.Errorf("missing load-error diagnostic:\n%s", s)
+	}
+	if !strings.Contains(s, "determinism") {
+		t.Errorf("AST fallback did not run over the broken package:\n%s", s)
+	}
+}
+
 // TestJSONOutput checks that -json emits a machine-readable array in
 // both the findings and the empty case.
 func TestJSONOutput(t *testing.T) {

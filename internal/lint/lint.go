@@ -14,12 +14,22 @@
 // missing reason is itself a finding; in strict mode a directive that
 // suppresses nothing (stale after a refactor) is reported too.
 //
-// The framework is deliberately AST-only (no go/types, no build
-// graph): rules resolve what they can from a single file — import
-// names, local declarations, lexical scope — and stay silent where
-// they cannot prove a violation. That keeps the linter buildable
-// offline, fast enough for every `make ci`, and free of external
-// dependencies, at the cost of not chasing types across packages.
+// The framework has two layers, both standard-library only. The AST
+// layer (go/parser + go/ast) resolves what it can from a single file
+// — import names, local declarations, lexical scope — and stays
+// silent where it cannot prove a violation; it is what -fast mode
+// runs, cheap enough for a pre-commit hook. The typed layer loads the
+// whole module with go/types in dependency order (stdlib imports come
+// from the compiler's export data via importer.Default — still no
+// external dependencies) and feeds a per-function dataflow pass with
+// lightweight interprocedural summaries: which parameters a function
+// writes through, which results alias which parameters. Rules that
+// implement TypedRule upgrade from name-matching heuristics to real
+// type resolution, and two rules exist only in this layer:
+// artifactalias (writes through published artifacts, compute
+// functions leaking mutated scratch buffers) and sharedcapture
+// (goroutine closures writing captured state without proof of
+// confinement).
 package lint
 
 import (
@@ -27,6 +37,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -72,6 +83,16 @@ type Rule interface {
 	Check(f *File, report ReportFunc)
 }
 
+// TypedRule is implemented by rules that upgrade to type-aware
+// checking when the typed layer is loaded. In typed mode CheckTyped
+// replaces Check for every file whose package type-checked cleanly;
+// files of broken packages fall back to the AST Check. Typed-only
+// rules (artifactalias, sharedcapture) make Check a no-op.
+type TypedRule interface {
+	Rule
+	CheckTyped(prog *Program, pkg *Pkg, f *File, report ReportFunc)
+}
+
 // Options configures a Run.
 type Options struct {
 	// Rules to apply; nil means DefaultRules().
@@ -79,6 +100,12 @@ type Options struct {
 	// Strict additionally reports //lint:ignore directives that
 	// suppressed nothing.
 	Strict bool
+	// Typed loads the module under go/types and runs the typed layer:
+	// upgraded versions of the core rules plus the dataflow rules
+	// (artifactalias, sharedcapture). Without it the run is AST-only
+	// (-fast), and typed-only rules stay silent — so judge stale
+	// suppressions (Strict) only with Typed on.
+	Typed bool
 }
 
 // ignoreRule is the pseudo-rule name under which directive problems
@@ -137,6 +164,7 @@ func Run(root string, opts Options) ([]Diagnostic, error) {
 	var stale []ignore
 	staleFile := make(map[token.Pos]string)
 	fset := token.NewFileSet()
+	var files []*File
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -155,21 +183,60 @@ func Run(root string, opts Options) ([]Diagnostic, error) {
 		if i := strings.LastIndex(rel, "/"); i >= 0 {
 			dir = rel[:i]
 		}
-		f := &File{Fset: fset, AST: astf, Src: src, Rel: rel, Dir: dir}
+		files = append(files, &File{Fset: fset, AST: astf, Src: src, Rel: rel, Dir: dir})
+	}
 
+	// The typed layer loads the whole tree before any rule runs, so
+	// summaries and project types are available to every file. A
+	// package that fails to type-check surfaces as a diagnostic and
+	// its files fall back to the AST rules.
+	var prog *Program
+	if opts.Typed {
+		prog = loadProgram(root, fset, files)
+		for _, p := range prog.Pkgs {
+			if p.Complete || p.LoadErr == nil {
+				continue
+			}
+			line, col, rel := 1, 1, p.Files[0].Rel
+			if te, ok := p.LoadErr.(types.Error); ok && te.Pos.IsValid() {
+				pos := fset.Position(te.Pos)
+				if r, err := filepath.Rel(root, pos.Filename); err == nil {
+					rel = filepath.ToSlash(r)
+				}
+				line, col = pos.Line, pos.Column
+			}
+			diags = append(diags, Diagnostic{
+				File: rel, Line: line, Col: col, Rule: ignoreRule,
+				Msg: fmt.Sprintf("package %s does not type-check (typed rules skipped): %v", p.Path, p.LoadErr),
+			})
+		}
+	}
+
+	for _, f := range files {
 		ignores, dirDiags := parseIgnores(f, known)
 		diags = append(diags, dirDiags...)
 
+		var pkg *Pkg
+		if prog != nil {
+			if p := prog.ByDir[f.Dir]; p != nil && p.Complete {
+				pkg = p
+			}
+		}
 		var raw []Diagnostic
 		for _, r := range rules {
 			rule := r.Name()
-			r.Check(f, func(pos token.Pos, format string, args ...any) {
+			report := func(pos token.Pos, format string, args ...any) {
 				p := fset.Position(pos)
 				raw = append(raw, Diagnostic{
-					File: rel, Line: p.Line, Col: p.Column,
+					File: f.Rel, Line: p.Line, Col: p.Column,
 					Rule: rule, Msg: fmt.Sprintf(format, args...),
 				})
-			})
+			}
+			if tr, ok := r.(TypedRule); ok && pkg != nil {
+				tr.CheckTyped(prog, pkg, f, report)
+				continue
+			}
+			r.Check(f, report)
 		}
 		for _, d := range raw {
 			if suppressed(ignores, d) {
@@ -180,7 +247,7 @@ func Run(root string, opts Options) ([]Diagnostic, error) {
 		for i := range ignores {
 			if !ignores[i].used {
 				stale = append(stale, ignores[i])
-				staleFile[ignores[i].pos] = rel
+				staleFile[ignores[i].pos] = f.Rel
 			}
 		}
 	}

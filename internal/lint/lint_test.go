@@ -79,6 +79,52 @@ func TestFsConfineCorpus(t *testing.T) {
 	checkGolden(t, "fsconfine", "want.txt", got)
 }
 
+// TestArtifactAliasCorpus drives the typed dataflow rule over its
+// fixture module: store/graph-result writes, deps mutations (direct,
+// in-place append and via a summarized callee), retained scratch
+// buffers — and the clone/fresh-buffer idioms that must stay silent.
+func TestArtifactAliasCorpus(t *testing.T) {
+	got := runCorpus(t, "artifactalias", Options{Rules: []Rule{artifactAliasRule{}}, Typed: true})
+	checkGolden(t, "artifactalias", "want.txt", got)
+	for _, frag := range []string{"bad.go:19", "bad.go:30", "bad.go:43", "bad.go:65", "bad.go:77"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("diagnostics missing expected finding at %s:\n%s", frag, got)
+		}
+	}
+	for _, clean := range []string{"good.go", "suppressed.go"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
+// TestArtifactAliasFastSilent pins the -fast contract: without the
+// typed layer the rule reports nothing, even over the bad corpus.
+func TestArtifactAliasFastSilent(t *testing.T) {
+	got := runCorpus(t, "artifactalias", Options{Rules: []Rule{artifactAliasRule{}}})
+	if got != "" {
+		t.Errorf("artifactalias reported in AST-only mode:\n%s", got)
+	}
+}
+
+// TestSharedCaptureCorpus covers the goroutine-closure write rule:
+// unsynchronized captured writes are findings; per-slot index writes,
+// mutex windows (inline and deferred) and channel handoffs are not.
+func TestSharedCaptureCorpus(t *testing.T) {
+	got := runCorpus(t, "sharedcapture", Options{Rules: []Rule{sharedCaptureRule{}}, Typed: true})
+	checkGolden(t, "sharedcapture", "want.txt", got)
+	for _, frag := range []string{"bad.go:16", "bad.go:33", "bad.go:50"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("diagnostics missing expected finding at %s:\n%s", frag, got)
+		}
+	}
+	for _, clean := range []string{"good.go", "suppressed.go"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive in %s:\n%s", clean, got)
+		}
+	}
+}
+
 // TestSuppressCorpus drives the directive handling end to end: a live
 // trailing suppression hides its finding, an unknown rule and a
 // missing reason are findings themselves (and suppress nothing, so
@@ -118,11 +164,12 @@ func TestRunBadRoot(t *testing.T) {
 	}
 }
 
-// TestLintSelf holds the repo to its own rules: a plain `go test
-// ./...` fails if a violation (or a stale suppression) creeps in,
-// even when nobody runs `make lint`.
+// TestLintSelf holds the repo to its own rules under the full typed
+// analysis: a plain `go test ./...` fails if a violation (or a stale
+// suppression) creeps in, even when nobody runs `make ci`. Strict
+// staleness is judged here, where every rule can fire.
 func TestLintSelf(t *testing.T) {
-	diags, err := Run(filepath.Join("..", ".."), Options{Strict: true})
+	diags, err := Run(filepath.Join("..", ".."), Options{Strict: true, Typed: true})
 	if err != nil {
 		t.Fatalf("Run(repo root): %v", err)
 	}
@@ -131,5 +178,21 @@ func TestLintSelf(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Fatalf("%d lint finding(s) in the tree; fix them or add //lint:ignore <rule> <reason>", len(diags))
+	}
+}
+
+// TestLintSelfFast keeps the pre-commit mode honest: the AST layer
+// alone must also pass (without strict — suppressions of typed-only
+// findings look stale to it by design).
+func TestLintSelfFast(t *testing.T) {
+	diags, err := Run(filepath.Join("..", ".."), Options{})
+	if err != nil {
+		t.Fatalf("Run(repo root): %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d fast-mode lint finding(s) in the tree", len(diags))
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"strings"
 )
 
-// DefaultRules returns the project rule set, in reporting order.
+// DefaultRules returns the project rule set, in reporting order. The
+// last two rules are typed-only: they stay silent unless Options.Typed
+// loads the go/types layer.
 func DefaultRules() []Rule {
 	return []Rule{
 		determinismRule{},
@@ -16,6 +18,8 @@ func DefaultRules() []Rule {
 		ctxFirstRule{},
 		goroutineRule{},
 		fsConfineRule{},
+		artifactAliasRule{},
+		sharedCaptureRule{},
 	}
 }
 
@@ -170,6 +174,42 @@ func (determinismRule) Check(f *File, report ReportFunc) {
 	})
 }
 
+// CheckTyped resolves callees through go/types, so renamed imports
+// (clock "time") and indirect aliases cannot dodge the rule the way
+// they can dodge the AST import-name match.
+func (determinismRule) CheckTyped(prog *Program, pkg *Pkg, f *File, report ReportFunc) {
+	clockScope := f.Dir != clockDir
+	computeScope := inComputeScope(f)
+	if !clockScope && !computeScope {
+		return
+	}
+	info := pkg.Info
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if clockScope {
+			if name, ok := pkgFuncCall(info, call, "time"); ok && (name == "Now" || name == "Since" || name == "Until") {
+				report(call.Pos(), "time.%s outside internal/obs: route wall-clock reads through obs.Now/obs.Since so timing never leaks into artifact state", name)
+			}
+		}
+		if computeScope {
+			if name, ok := pkgFuncCall(info, call, "os"); ok && (name == "Getenv" || name == "LookupEnv" || name == "Environ") {
+				report(call.Pos(), "os.%s in a deterministic flow package: behavior may not depend on the environment", name)
+			}
+			name, ok := pkgFuncCall(info, call, "math/rand")
+			if !ok {
+				name, ok = pkgFuncCall(info, call, "math/rand/v2")
+			}
+			if ok && globalRandFuncs[name] {
+				report(call.Pos(), "global rand.%s: derive a seeded stream via internal/stats/rng.go instead", name)
+			}
+		}
+		return true
+	})
+}
+
 // ---------------------------------------------------------------- //
 
 // mapOrderRule flags range loops over maps whose bodies build
@@ -200,6 +240,39 @@ func (mapOrderRule) Check(f *File, report ReportFunc) {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok || !isLocalMap(rs.X) {
+				return true
+			}
+			checkMapRangeBody(fd, rs, f, fmtName, hasFmt, report)
+			return true
+		})
+	}
+}
+
+// CheckTyped replaces the file-local map-provenance heuristic with the
+// real type of the ranged expression: struct fields, cross-package
+// values and chained selectors all resolve, so map ranges the AST
+// layer could not prove now get checked too.
+func (mapOrderRule) CheckTyped(prog *Program, pkg *Pkg, f *File, report ReportFunc) {
+	if !inComputeScope(f) {
+		return
+	}
+	info := pkg.Info
+	fmtName, hasFmt := pkgName(f.AST, "fmt", "fmt")
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
 			checkMapRangeBody(fd, rs, f, fmtName, hasFmt, report)
@@ -418,6 +491,58 @@ func (errTaxonomyRule) Check(f *File, report ReportFunc) {
 	}
 }
 
+// CheckTyped resolves errors.New / fmt.Errorf through go/types
+// (aliased imports resolve) and gates on the function actually having
+// an error result, so exported helpers that cannot leak a naked error
+// into the taxonomy are skipped instead of pattern-matched.
+func (errTaxonomyRule) CheckTyped(prog *Program, pkg *Pkg, f *File, report ReportFunc) {
+	if !inTaxonomyScope(f) || f.Dir == "internal/flowerr" {
+		return
+	}
+	info := pkg.Info
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		returnsErr := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErrorType(sig.Results().At(i).Type()) {
+				returnsErr = true
+			}
+		}
+		if !returnsErr {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				call, ok := res.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if name, ok := pkgFuncCall(info, call, "errors"); ok && name == "New" {
+					report(call.Pos(), "%s returns naked errors.New: use a flowerr constructor (e.g. flowerr.BadInputf) so callers can branch on the class", fd.Name.Name)
+				}
+				if name, ok := pkgFuncCall(info, call, "fmt"); ok && name == "Errorf" && len(call.Args) > 0 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING && !strings.Contains(lit.Value, "%w") {
+						report(call.Pos(), "%s returns fmt.Errorf without %%w: wrap a cause or use a flowerr constructor so the error keeps its class", fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
 // ---------------------------------------------------------------- //
 
 // ctxFirstRule enforces the context conventions of the flow: exported
@@ -446,38 +571,68 @@ func (ctxFirstRule) Check(f *File, report ReportFunc) {
 		if !ok || fd.Body == nil || fd.Type.Params == nil {
 			continue
 		}
-		idx := -1
-		var ctxIdent string
-		flat := 0
-		for _, field := range fd.Type.Params.List {
-			names := len(field.Names)
-			if names == 0 {
-				names = 1
+		idx, ctxIdent := ctxParam(fd, func(t ast.Expr) bool { return isCtxType(t, ctxPkg) })
+		reportCtxFunc(f, fd, idx, ctxIdent, loopScope, report)
+	}
+}
+
+// CheckTyped detects the context parameter through go/types, so
+// renamed context imports and type aliases resolve.
+func (ctxFirstRule) CheckTyped(prog *Program, pkg *Pkg, f *File, report ReportFunc) {
+	if !inComputeScope(f) {
+		return
+	}
+	info := pkg.Info
+	loopScope := f.Dir == "internal/mc" || f.Dir == "internal/gsim"
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || fd.Type.Params == nil {
+			continue
+		}
+		idx, ctxIdent := ctxParam(fd, func(t ast.Expr) bool { return isContextType(info.TypeOf(t)) })
+		reportCtxFunc(f, fd, idx, ctxIdent, loopScope, report)
+	}
+}
+
+// ctxParam locates the first context-typed parameter of fd by flat
+// index, returning -1 when there is none.
+func ctxParam(fd *ast.FuncDecl, isCtx func(ast.Expr) bool) (int, string) {
+	idx := -1
+	var ctxIdent string
+	flat := 0
+	for _, field := range fd.Type.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if idx < 0 && isCtx(field.Type) {
+			idx = flat
+			if len(field.Names) > 0 {
+				ctxIdent = field.Names[0].Name
 			}
-			if isCtxType(field.Type, ctxPkg) && idx < 0 {
-				idx = flat
-				if len(field.Names) > 0 {
-					ctxIdent = field.Names[0].Name
-				}
-			}
-			flat += names
 		}
-		if idx < 0 {
-			continue
-		}
-		if fd.Name.IsExported() && idx > 0 {
-			report(fd.Name.Pos(), "%s takes context.Context at position %d: blocking APIs take ctx as the first parameter", fd.Name.Name, idx+1)
-		}
-		if ctxIdent == "" || ctxIdent == "_" {
-			continue
-		}
-		if fd.Name.IsExported() && !identUsed(fd.Body, ctxIdent) {
-			report(fd.Name.Pos(), "%s accepts %s but never consults it: check cancellation or pass it on", fd.Name.Name, ctxIdent)
-			continue
-		}
-		if loopScope && hasForLoop(fd.Body) && !ctxInLoop(fd.Body, ctxIdent) {
-			report(fd.Name.Pos(), "%s loops without polling %s: sample/iteration loops in %s must check cancellation", fd.Name.Name, ctxIdent, f.Dir)
-		}
+		flat += names
+	}
+	return idx, ctxIdent
+}
+
+// reportCtxFunc is the shared reporting tail of both ctxfirst modes.
+func reportCtxFunc(f *File, fd *ast.FuncDecl, idx int, ctxIdent string, loopScope bool, report ReportFunc) {
+	if idx < 0 {
+		return
+	}
+	if fd.Name.IsExported() && idx > 0 {
+		report(fd.Name.Pos(), "%s takes context.Context at position %d: blocking APIs take ctx as the first parameter", fd.Name.Name, idx+1)
+	}
+	if ctxIdent == "" || ctxIdent == "_" {
+		return
+	}
+	if fd.Name.IsExported() && !identUsed(fd.Body, ctxIdent) {
+		report(fd.Name.Pos(), "%s accepts %s but never consults it: check cancellation or pass it on", fd.Name.Name, ctxIdent)
+		return
+	}
+	if loopScope && hasForLoop(fd.Body) && !ctxInLoop(fd.Body, ctxIdent) {
+		report(fd.Name.Pos(), "%s loops without polling %s: sample/iteration loops in %s must check cancellation", fd.Name.Name, ctxIdent, f.Dir)
 	}
 }
 
@@ -545,24 +700,90 @@ func ctxInLoop(body *ast.BlockStmt, name string) bool {
 
 // goroutineRule confines goroutine creation to the sanctioned
 // scheduler packages, whose pools own panic recovery, draining and
-// cancellation. A stray `go func` elsewhere escapes all three.
+// cancellation. A stray `go func` elsewhere escapes all three —
+// unless the surrounding function proves structured confinement with
+// a WaitGroup: wg.Add before the go statement, a deferred wg.Done as
+// the closure's first act, and wg.Wait afterwards in the same
+// function. That pattern joins every worker before returning, which
+// is exactly what the scheduler pools guarantee, so it is allowed in
+// both the AST and typed modes (the proof is lexical).
 type goroutineRule struct{}
 
 func (goroutineRule) Name() string { return "goroutine" }
 func (goroutineRule) Doc() string {
-	return "goroutines start only in the scheduler packages (internal/pipeline, mc, gsim, service)"
+	return "goroutines start only in the scheduler packages (internal/pipeline, mc, gsim, service) or under a full WaitGroup Add/Done/Wait join in one function"
 }
 
 func (goroutineRule) Check(f *File, report ReportFunc) {
 	if inDirs(f, schedulerDirs) {
 		return
 	}
-	ast.Inspect(f.AST, func(n ast.Node) bool {
-		if g, ok := n.(*ast.GoStmt); ok {
-			report(g.Pos(), "goroutine outside the sanctioned schedulers (%s): route concurrency through their pools", strings.Join(schedulerDirs, ", "))
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok && !wgConfined(fd.Body, g) {
+				report(g.Pos(), "goroutine outside the sanctioned schedulers (%s): route concurrency through their pools or join it with a WaitGroup (Add before go, defer Done inside, Wait after)", strings.Join(schedulerDirs, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// wgConfined reports whether the goroutine is provably joined by a
+// WaitGroup inside body: the launched closure defers <wg>.Done(),
+// <wg>.Add(...) appears before the go statement and <wg>.Wait() after
+// it, all on the same identifier. The match is lexical (same name in
+// one function), which one file cannot fake without shadowing — and
+// shadowing a WaitGroup mid-function would break compilation of the
+// Add/Wait pair anyway.
+func wgConfined(body *ast.BlockStmt, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	// Collect the names whose Done is deferred inside the closure.
+	done := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if sel, ok := ds.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if root := rootIdent(sel.X); root != nil {
+				done[root.Name] = true
+			}
 		}
 		return true
 	})
+	if len(done) == 0 {
+		return false
+	}
+	added, waited := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil || !done[root.Name] {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Add" && call.Pos() < g.Pos():
+			added = true
+		case sel.Sel.Name == "Wait" && call.Pos() > g.End():
+			waited = true
+		}
+		return !(added && waited)
+	})
+	return added && waited
 }
 
 // ---------------------------------------------------------------- //
@@ -609,6 +830,25 @@ func (fsConfineRule) Check(f *File, report ReportFunc) {
 		}
 		if sel, ok := pkgCall(call, osName); ok && osFSFuncs[sel] {
 			report(call.Pos(), "os.%s in a compute package: route filesystem IO through pipeline.FS (internal/pipeline/fs.go) so it stays crash-safe, fault-injectable and degradation-aware", sel)
+		}
+		return true
+	})
+}
+
+// CheckTyped resolves os calls through go/types so an aliased import
+// cannot hide direct filesystem IO from the confinement check.
+func (fsConfineRule) CheckTyped(prog *Program, pkg *Pkg, f *File, report ReportFunc) {
+	if !inComputeScope(f) || fsConfineAllowed[f.Rel] {
+		return
+	}
+	info := pkg.Info
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgFuncCall(info, call, "os"); ok && osFSFuncs[name] {
+			report(call.Pos(), "os.%s in a compute package: route filesystem IO through pipeline.FS (internal/pipeline/fs.go) so it stays crash-safe, fault-injectable and degradation-aware", name)
 		}
 		return true
 	})

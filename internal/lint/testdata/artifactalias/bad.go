@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+
+	"vipipe/internal/pipeline"
+)
+
+// BadStoreWrite mutates a Store.Do result: every cached consumer sees
+// the poisoned map.
+func BadStoreWrite(ctx context.Context, s pipeline.Store) error {
+	v, err := s.Do(ctx, "curve", func() (any, int64, error) {
+		return map[string][]float64{}, 0, nil
+	})
+	if err != nil {
+		return err
+	}
+	m := v.(map[string][]float64)
+	m["yield"] = nil // want: write through artifact
+	return nil
+}
+
+// BadRequestWrite mutates a Graph.Request result slice element.
+func BadRequestWrite(ctx context.Context, g *pipeline.Graph) error {
+	arts, err := g.Request(ctx, []string{"mc"})
+	if err != nil {
+		return err
+	}
+	xs := arts["mc"].([]float64)
+	xs[0] = 0 // want: write through artifact
+	return nil
+}
+
+// BadDepsAppend registers a compute that appends in place to a dep
+// slice: the published backing array is extended under every other
+// consumer.
+func BadDepsAppend(g *pipeline.Graph) {
+	g.MustAdd(pipeline.Node{
+		ID:   "extend",
+		Deps: []string{"samples"},
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) {
+			xs := deps["samples"].([]float64)
+			xs = append(xs, 1.0) // want: in-place append to artifact
+			return xs, nil
+		},
+	})
+}
+
+// scaleInPlace doubles every element: a mutating helper whose summary
+// records the write through its parameter.
+func scaleInPlace(xs []float64) {
+	for i := range xs {
+		xs[i] *= 2
+	}
+}
+
+// BadDepsCall hands a dep slice to a helper that writes through it:
+// the interprocedural summary has to carry the mutation.
+func BadDepsCall(g *pipeline.Graph) {
+	g.MustAdd(pipeline.Node{
+		ID:   "scale",
+		Deps: []string{"samples"},
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) {
+			xs := deps["samples"].([]float64)
+			scaleInPlace(xs) // want: callee writes through artifact
+			return xs, nil
+		},
+	})
+}
+
+// BadRetainedScratch publishes a captured scratch buffer the closure
+// also mutates: the next run rewrites the cached artifact in place.
+func BadRetainedScratch(g *pipeline.Graph) {
+	buf := make([]float64, 0, 64)
+	g.MustAdd(pipeline.Node{
+		ID: "hist",
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) { // want: retained scratch
+			buf = append(buf[:0], 1, 2, 3)
+			return buf, nil
+		},
+	})
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"sort"
+
+	"vipipe/internal/pipeline"
+)
+
+// GoodCloneThenSort copies the artifact before sorting: the clone
+// idiom the rule must not flag.
+func GoodCloneThenSort(ctx context.Context, g *pipeline.Graph) ([]float64, error) {
+	v, err := g.RequestOne(ctx, "mc")
+	if err != nil {
+		return nil, err
+	}
+	src := v.([]float64)
+	dst := append([]float64(nil), src...)
+	sort.Float64s(dst)
+	return dst, nil
+}
+
+// sum only reads its argument; its summary must stay write-free.
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// GoodDepsReadOnly reads deps, aggregates into fresh memory and
+// passes the artifact to a read-only helper.
+func GoodDepsReadOnly(g *pipeline.Graph) {
+	g.MustAdd(pipeline.Node{
+		ID:   "mean",
+		Deps: []string{"samples"},
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) {
+			xs := deps["samples"].([]float64)
+			out := make([]float64, 0, len(xs))
+			for _, x := range xs {
+				out = append(out, x/sum(xs))
+			}
+			return out, nil
+		},
+	})
+}
+
+// GoodFreshBuffer allocates per call: nothing captured, nothing
+// retained.
+func GoodFreshBuffer(g *pipeline.Graph) {
+	g.MustAdd(pipeline.Node{
+		ID: "fresh",
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) {
+			buf := make([]float64, 0, 64)
+			buf = append(buf, 1, 2, 3)
+			return buf, nil
+		},
+	})
+}
+
+// GoodCapturedConfig captures read-only configuration: captured but
+// never mutated, so publishing values derived from it is fine.
+func GoodCapturedConfig(g *pipeline.Graph, scale []float64) {
+	g.MustAdd(pipeline.Node{
+		ID: "scaled",
+		Compute: func(ctx context.Context, deps map[string]any) (any, error) {
+			out := make([]float64, len(scale))
+			for i, s := range scale {
+				out[i] = s * 2
+			}
+			return out, nil
+		},
+	})
+}

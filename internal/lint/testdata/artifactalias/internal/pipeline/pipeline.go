@@ -1,0 +1,52 @@
+// Package pipeline is the fixture's miniature of the real store and
+// graph API: just enough surface for the typed layer to resolve
+// Store.Do, Graph.Request and the Node.Compute signature.
+package pipeline
+
+import "context"
+
+// Store is the content-addressed artifact cache seam.
+type Store interface {
+	Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, error)
+}
+
+// Node is one vertex of the artifact graph.
+type Node struct {
+	ID      string
+	Deps    []string
+	Compute func(ctx context.Context, deps map[string]any) (any, error)
+	Size    func(v any) int64
+}
+
+// Graph schedules nodes and serves published artifacts.
+type Graph struct {
+	nodes map[string]Node
+}
+
+// Request returns the published artifacts for the requested ids.
+func (g *Graph) Request(ctx context.Context, ids []string) (map[string]any, error) {
+	return nil, nil
+}
+
+// RequestOne returns one published artifact.
+func (g *Graph) RequestOne(ctx context.Context, id string) (any, error) {
+	return nil, nil
+}
+
+// MustAdd registers a node.
+func (g *Graph) MustAdd(n Node) {
+	if g.nodes == nil {
+		g.nodes = make(map[string]Node)
+	}
+	g.nodes[n.ID] = n
+}
+
+type memStore struct{}
+
+// NewMem returns an in-memory Store.
+func NewMem() Store { return memStore{} }
+
+func (memStore) Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, error) {
+	v, _, err := compute()
+	return v, err
+}

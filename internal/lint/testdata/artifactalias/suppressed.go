@@ -1,0 +1,22 @@
+package main
+
+import (
+	"context"
+
+	"vipipe/internal/pipeline"
+)
+
+// SuppressedNormalize mutates a store result behind a reviewed
+// directive: the one sanctioned escape hatch, visible in the golden
+// only through its absence.
+func SuppressedNormalize(ctx context.Context, s pipeline.Store) error {
+	v, err := s.Do(ctx, "norm", func() (any, int64, error) {
+		return []float64{1, 2}, 0, nil
+	})
+	if err != nil {
+		return err
+	}
+	xs := v.([]float64)
+	xs[0] = 1 //lint:ignore artifactalias single-writer node proven by the scheduler: no other consumer holds this key yet
+	return nil
+}

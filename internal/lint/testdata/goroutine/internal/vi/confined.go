@@ -1,0 +1,28 @@
+package vi
+
+import "sync"
+
+// Joined proves structured confinement: Add before go, deferred Done
+// inside, Wait after — allowed outside the schedulers.
+func Joined(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// HalfJoined never waits: the workers outlive the function, so the
+// allowance must not apply.
+func HalfJoined(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}

@@ -1,0 +1,3 @@
+module vipipe
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package pipeline is a fixture scheduler: its goroutine closures are
+// what the sharedcapture rule patrols.
+package pipeline
+
+import "sync"
+
+// BadCounter increments a captured counter from workers with no
+// guard: the textbook lost-update race.
+func BadCounter(n int) int {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want: unsynchronized captured write
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// BadMapWrite writes a captured map from workers: concurrent map
+// writes fault at runtime regardless of which key each worker owns.
+func BadMapWrite(keys []string) map[string]int {
+	var wg sync.WaitGroup
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[k] = len(k) // want: captured map write
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+type job struct {
+	state string
+	mu    sync.Mutex
+}
+
+// BadFieldWrite stores through a captured pointer's field without
+// taking the job's own lock.
+func BadFieldWrite(j *job) {
+	done := make(chan struct{})
+	go func() {
+		j.state = "running" // want: unguarded field write
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,62 @@
+package pipeline
+
+import "sync"
+
+// GoodPerSlot uses the disjoint-slot worker convention: each worker
+// writes only its own index of a captured slice.
+func GoodPerSlot(xs []float64) []float64 {
+	var wg sync.WaitGroup
+	out := make([]float64, len(xs))
+	for i := range xs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// GoodMutexGuard serializes the captured write under a mutex, with
+// both the inline and the deferred unlock forms.
+func GoodMutexGuard(n int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total--
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// GoodChannel ships results over a channel instead of writing shared
+// state; closure-local accumulators stay writable.
+func GoodChannel(xs []float64) float64 {
+	res := make(chan float64, 1)
+	go func() {
+		local := 0.0
+		for _, x := range xs {
+			local += x
+		}
+		res <- local
+	}()
+	return <-res
+}

@@ -1,0 +1,14 @@
+package pipeline
+
+// SuppressedSingleWriter writes captured state from the only goroutine
+// that ever touches it, behind a reviewed directive.
+func SuppressedSingleWriter() string {
+	status := ""
+	done := make(chan struct{})
+	go func() {
+		status = "ok" //lint:ignore sharedcapture single writer joined by done before any read
+		close(done)
+	}()
+	<-done
+	return status
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"vipipe/internal/cell"
@@ -419,11 +420,7 @@ func (r *Result) CriticalEndpoints(nl *netlist.Netlist, stage netlist.Stage) []E
 			ViolFrac: float64(count) / float64(r.Samples),
 		})
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && less(out[j-1], out[j]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
 	return out
 }
 

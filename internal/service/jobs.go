@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -437,7 +438,7 @@ func (m *Manager) Drain(ctx context.Context) (DrainStats, error) {
 	for _, job := range m.jobs {
 		job.mu.Lock()
 		if !job.state.Terminal() {
-			open = append(open, job)
+			open = append(open, job) //lint:ignore maporder open is only tallied into order-independent counts, never iterated for output
 		}
 		job.mu.Unlock()
 	}
@@ -475,6 +476,7 @@ func (m *Manager) Drain(ctx context.Context) (DrainStats, error) {
 			ids = append(ids, id)
 		}
 		m.mu.Unlock()
+		sort.Strings(ids)
 		for _, id := range ids {
 			m.Cancel(id)
 		}

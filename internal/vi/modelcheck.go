@@ -64,7 +64,6 @@ func buildModelChecker(ctx context.Context, a *sta.Analyzer, model *variation.Mo
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//lint:ignore goroutine per-sample extraction pool local to this call: wg.Wait always drains it, and cancellation is checked per item
 		go func() {
 			defer wg.Done()
 			lg := make([]float64, nCells)
