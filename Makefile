@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet lint lint-full test race fault fuzz service-it crash-it bench bench-smoke ci clean
+.PHONY: all build fmt vet lint lint-full test race fault fuzz service-it crash-it bench bench-smoke bench-diff bench-diff-advisory ci clean
 
 all: build
 
@@ -82,7 +82,23 @@ bench:
 bench-smoke:
 	$(GO) test -run 'TestFieldSweepWarmDirtySpeedup|TestWhatIfSpeedup' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep|BenchmarkWhatIf' -benchtime 1x .
 
-ci: fmt vet lint-full build race test fault service-it crash-it bench-smoke
+# Benchmark-regression gate: measure a fresh run into BENCH_fresh.json
+# (never overwriting the committed baseline) and compare the gated
+# warm-path speedup ratios against BENCH_service.json via
+# cmd/benchdiff — ratios, not absolute ns/op, so a slower machine
+# passes but a >25% relative regression of a speedup fails.
+bench-diff:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkServiceScenarioSweep|BenchmarkFieldSweep|BenchmarkWhatIf' -benchmem . > BENCH_fresh.json
+	$(GO) run ./cmd/benchdiff -old BENCH_service.json -new BENCH_fresh.json
+
+# ci runs the ratio gate advisory (the leading `-`): benchmark noise
+# on shared runners must not block a merge, but the report still
+# lands in the log. bench-smoke stays the hard gate that the
+# benchmarks build and run.
+bench-diff-advisory:
+	-$(MAKE) bench-diff
+
+ci: fmt vet lint-full build race test fault service-it crash-it bench-smoke bench-diff-advisory
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ func main() {
 	app.SeedFlag()
 	app.NFlag(28, "grid resolution (cells per chip edge)")
 	app.TraceFlag()
+	app.ProfileFlag()
 	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII map")
 	random := flag.Bool("random", false, "overlay the per-gate random Lgate component on the systematic map")
 	flag.Parse()

@@ -27,6 +27,7 @@ func main() {
 	app.SamplesFlag()
 	app.JSONFlag()
 	app.TraceFlag()
+	app.ProfileFlag()
 	app.StoreFlag()
 	flag.Parse()
 

@@ -31,6 +31,7 @@ func main() {
 	app.ConfigFlags(true)
 	app.PosFlag("A", "chip position (A-D) for the variability-injection round trip")
 	app.TraceFlag()
+	app.ProfileFlag()
 	sdfPath := flag.String("sdf", "", "write nominal delays as SDF to this path")
 	vPath := flag.String("verilog", "", "write the netlist as structural Verilog to this path")
 	defPath := flag.String("def", "", "write the placement as DEF to this path")

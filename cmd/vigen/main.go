@@ -36,6 +36,7 @@ func main() {
 	app.JSONFlag()
 	app.StrategyFlag("vertical,horizontal", "comma-separated slicing strategies to compare")
 	app.TraceFlag()
+	app.ProfileFlag()
 	app.StoreFlag()
 	flag.Parse()
 

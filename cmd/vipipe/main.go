@@ -28,6 +28,7 @@ var runDRC bool
 func main() {
 	app.ConfigFlags(false)
 	app.TraceFlag()
+	app.ProfileFlag()
 	app.StoreFlag()
 	experiment := flag.String("experiment", "all", "one of: all, timing, table1, table2, fig5, fig6")
 	flag.BoolVar(&runDRC, "drc", false, "run design-rule checks between flow steps and fail on violations")

@@ -52,6 +52,9 @@ func main() {
 	recorderCap := flag.Int("recorder", 64, "flight-recorder capacity (recent job traces kept for /debug/trace)")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
+	metricsInterval := flag.Duration("metrics-interval", 2*time.Second, "rolling-telemetry sampling cadence for /metrics/history")
+	historyCap := flag.Int("history", 600, "rolling-telemetry ring capacity (samples kept for /metrics/history)")
+	eventBuf := flag.Int("event-buffer", 256, "per-subscriber /events buffer (a slower reader drops events instead of blocking workers)")
 	flag.Parse()
 
 	ctx, stop := app.Context()
@@ -84,8 +87,9 @@ func main() {
 	}
 	mgr := service.NewManager(eng, metrics, *workers, *queueCap,
 		service.WithRecorder(recorder), service.WithLogger(logger),
-		service.WithClientQuota(quota))
-	var srvOpts []service.ServerOption
+		service.WithClientQuota(quota), service.WithEventBuffer(*eventBuf))
+	history := service.NewMetricsHistory(*historyCap)
+	srvOpts := []service.ServerOption{service.WithHistory(history)}
 	if *debug {
 		srvOpts = append(srvOpts, service.WithPprof())
 	}
@@ -103,8 +107,21 @@ func main() {
 		"workers", *workers, "queue", *queueCap, "cache_mib", *cacheMB,
 		"recorder", *recorderCap, "pprof", *debug)
 
+	// The telemetry sampler feeds /metrics/history until shutdown.
+	ticker := time.NewTicker(*metricsInterval)
+	defer ticker.Stop()
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				history.Record(metrics.Snapshot(cache, mgr))
+			}
+		}
+	}()
+
 	serveErr := make(chan error, 1)
-	//lint:ignore goroutine the daemon's single serve goroutine; srv.Shutdown joins it on drain
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
@@ -118,11 +135,17 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Stop accepting HTTP first so no new submissions race the drain,
-	// then let the worker pool finish queued and running jobs.
-	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Error("http shutdown", "error", err)
-	}
+	// then let the worker pool finish queued and running jobs. Shutdown
+	// runs concurrently with the drain: it waits for active handlers,
+	// and the open /events streams only end when the drain closes the
+	// event hub — sequencing them would deadlock.
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- srv.Shutdown(shutdownCtx) }()
 	stats, err := mgr.Drain(shutdownCtx)
+	if herr := <-httpDone; herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+		logger.Error("http shutdown", "error", herr)
+		_ = srv.Close() // tear down whatever outlived the deadline
+	}
 	logger.Info("drain finished", "drained", stats.Drained, "aborted", stats.Aborted)
 	if err != nil {
 		logger.Error("drain", "error", err, "class", flowerr.Class(err))

@@ -1,0 +1,252 @@
+// Command vitop is a live terminal dashboard over a running vipiped:
+// it polls /metrics/history for windowed rates (submissions, cache
+// hit rate, shard throughput), /jobs for the job table, and tails
+// /events for the most recent lifecycle and shard completions — the
+// operator's view of where a sweep currently is without scraping JSON
+// by hand.
+//
+//	vitop -addr 127.0.0.1:8639 -interval 2s -window 5m
+//
+// -frames N renders N frames and exits (0 = run until interrupted),
+// which scripts use for one-shot snapshots.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vipipe/internal/cliutil"
+	"vipipe/internal/flowerr"
+	"vipipe/internal/obs"
+	"vipipe/internal/service"
+)
+
+var app = cliutil.New("vitop")
+
+// frame is everything one render needs, assembled by the poll loop so
+// render stays a pure function of its input (and testable as such).
+type frame struct {
+	TS      time.Time
+	Addr    string
+	History service.HistoryView
+	Jobs    []service.JobSnapshot
+	Events  []service.Event // newest last, already tail-trimmed
+	Err     error           // poll failure, rendered instead of stale data
+}
+
+// maxEventTail bounds the recent-event list a frame carries.
+const maxEventTail = 8
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8639", "vipiped address")
+	interval := flag.Duration("interval", 2*time.Second, "refresh cadence")
+	window := flag.Duration("window", 5*time.Minute, "rate window passed to /metrics/history")
+	frames := flag.Int("frames", 0, "render this many frames then exit (0 = until interrupted)")
+	clear := flag.Bool("clear", true, "clear the terminal between frames")
+	flag.Parse()
+
+	ctx, stop := app.Context()
+	defer stop()
+	base := "http://" + *addr
+
+	// The event tail arrives over SSE on its own goroutine; the poll
+	// loop drains the channel each frame. A dropped/broken stream
+	// reconnects on the next cadence rather than killing the dashboard.
+	evCh := make(chan service.Event, 256)
+	go func() {
+		for ctx.Err() == nil {
+			streamEvents(ctx, base, evCh)
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	var tail []service.Event
+	for n := 0; *frames == 0 || n < *frames; n++ {
+		f := poll(ctx, base, *window)
+		tail = appendTail(tail, drain(evCh))
+		f.Events = tail
+		if *clear {
+			fmt.Print("\033[H\033[2J")
+		}
+		render(os.Stdout, f)
+		if *frames != 0 && n == *frames-1 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// streamEvents tails one /events connection, forwarding decoded
+// events until the stream or context ends. Events nobody drains in
+// time are discarded — the dashboard shows a tail, not a log.
+func streamEvents(ctx context.Context, base string, out chan<- service.Event) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if json.Unmarshal([]byte(line[len("data: "):]), &ev) != nil {
+			return
+		}
+		select {
+		case out <- ev:
+		default:
+		}
+	}
+}
+
+// drain empties the event channel without blocking.
+func drain(ch <-chan service.Event) []service.Event {
+	var out []service.Event
+	for {
+		select {
+		case ev := <-ch:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+// appendTail folds fresh events into the rolling tail, newest last.
+func appendTail(tail, fresh []service.Event) []service.Event {
+	tail = append(tail, fresh...)
+	if len(tail) > maxEventTail {
+		tail = tail[len(tail)-maxEventTail:]
+	}
+	return tail
+}
+
+// poll assembles one frame from the daemon's JSON endpoints.
+func poll(ctx context.Context, base string, window time.Duration) frame {
+	f := frame{TS: obs.Now(), Addr: base}
+	if err := getJSON(ctx, base+"/metrics/history?window="+window.String(), &f.History); err != nil {
+		f.Err = err
+		return f
+	}
+	if err := getJSON(ctx, base+"/jobs", &f.Jobs); err != nil {
+		f.Err = err
+		return f
+	}
+	return f
+}
+
+func getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return flowerr.BadInputf("vitop: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// render writes one dashboard frame. Pure: everything it shows comes
+// from f.
+func render(w io.Writer, f frame) {
+	fmt.Fprintf(w, "vitop %s  %s\n", f.Addr, f.TS.Format("15:04:05"))
+	if f.Err != nil {
+		fmt.Fprintf(w, "  unreachable: %v\n", f.Err)
+		return
+	}
+	if r := f.History.Rates; r != nil {
+		fmt.Fprintf(w, "  window %s  submitted %.2f/s  completed %.2f/s  failed %.2f/s  hit-rate %.0f%%\n",
+			fmtSeconds(r.SpanS), r.SubmittedPerS, r.CompletedPerS, r.FailedPerS, 100*r.WindowHitRate)
+		fmt.Fprintf(w, "  queue %d  busy %d", r.QueueDepth, r.WorkersBusy)
+		if r.Degraded {
+			fmt.Fprint(w, "  STORE DEGRADED")
+		}
+		fmt.Fprintln(w)
+		if len(r.CounterPerS) > 0 {
+			names := make([]string, 0, len(r.CounterPerS))
+			for name := range r.CounterPerS {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprint(w, " ")
+			for _, name := range names {
+				fmt.Fprintf(w, " %s %.1f/s", name, r.CounterPerS[name])
+			}
+			fmt.Fprintln(w)
+		}
+	} else {
+		fmt.Fprintf(w, "  no rate window yet (%d samples)\n", len(f.History.Points))
+	}
+
+	fmt.Fprintf(w, "\n  %-12s %-12s %-10s %-10s %s\n", "JOB", "KIND", "STATE", "PROGRESS", "ERROR")
+	jobs := f.Jobs
+	if len(jobs) > 10 {
+		jobs = jobs[len(jobs)-10:]
+	}
+	for _, j := range jobs {
+		prog := ""
+		if j.Progress != nil && j.Progress.Total > 0 {
+			prog = fmt.Sprintf("%d/%d", j.Progress.Done, j.Progress.Total)
+		}
+		fmt.Fprintf(w, "  %-12s %-12s %-10s %-10s %s\n", j.ID, j.Kind, j.State, prog, j.Class)
+	}
+
+	if len(f.Events) > 0 {
+		fmt.Fprintln(w, "\n  recent events:")
+		for _, ev := range f.Events {
+			if ev.Shard != nil {
+				src := "computed"
+				if ev.Shard.Cached {
+					src = "cached"
+				}
+				fmt.Fprintf(w, "    #%d %s %s %s/%d %s %d/%d yield %.3f\n",
+					ev.Seq, ev.Job, ev.Type, ev.Shard.Pos, ev.Shard.Shard, src,
+					ev.Shard.Done, ev.Shard.Total, ev.Shard.Yield)
+				continue
+			}
+			line := fmt.Sprintf("    #%d %s %s", ev.Seq, ev.Job, ev.Type)
+			if ev.Error != "" {
+				line += " (" + ev.Error + ")"
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// fmtSeconds renders a span compactly (90 -> 1m30s).
+func fmtSeconds(s float64) string {
+	return (time.Duration(s*1000) * time.Millisecond).Round(time.Second).String()
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vipipe/internal/service"
+)
+
+func fixedFrame() frame {
+	ts := time.Date(2024, 3, 1, 10, 30, 0, 0, time.UTC)
+	return frame{
+		TS:   ts,
+		Addr: "http://127.0.0.1:8639",
+		History: service.HistoryView{
+			WindowS: 300,
+			Points:  make([]service.HistoryPoint, 3),
+			Rates: &service.HistoryRates{
+				SpanS:         120,
+				SubmittedPerS: 0.5,
+				CompletedPerS: 0.45,
+				WindowHitRate: 0.82,
+				QueueDepth:    3,
+				WorkersBusy:   2,
+				CounterPerS:   map[string]float64{"yield.shards_computed": 12.5},
+			},
+		},
+		Jobs: []service.JobSnapshot{
+			{ID: "job-000001", Kind: "field_sweep", State: service.JobRunning,
+				Progress: &service.Progress{Done: 7, Total: 18}},
+			{ID: "job-000002", Kind: "drc", State: service.JobFailed, Class: "drc"},
+		},
+		Events: []service.Event{
+			{Seq: 41, Job: "job-000001", Type: service.EventShard,
+				Shard: &service.ShardEvent{Pos: "r1c2", Shard: 1, Cached: true, Done: 7, Total: 18, Yield: 0.91}},
+			{Seq: 42, Job: "job-000002", Type: service.EventFailed, Error: "drc"},
+		},
+	}
+}
+
+func TestRenderFrame(t *testing.T) {
+	var b strings.Builder
+	render(&b, fixedFrame())
+	out := b.String()
+	for _, want := range []string{
+		"vitop http://127.0.0.1:8639  10:30:00",
+		"window 2m0s  submitted 0.50/s  completed 0.45/s",
+		"hit-rate 82%",
+		"queue 3  busy 2",
+		"yield.shards_computed 12.5/s",
+		"job-000001   field_sweep  running    7/18",
+		"job-000002   drc          failed",
+		"#41 job-000001 shard r1c2/1 cached 7/18 yield 0.910",
+		"#42 job-000002 job.failed (drc)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderUnreachable(t *testing.T) {
+	var b strings.Builder
+	f := fixedFrame()
+	f.Err = service.ErrDraining
+	render(&b, f)
+	if !strings.Contains(b.String(), "unreachable") {
+		t.Errorf("error frame did not render the failure:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "job-000001") {
+		t.Error("error frame rendered stale job data")
+	}
+}
+
+func TestAppendTail(t *testing.T) {
+	var tail []service.Event
+	for i := 0; i < 20; i++ {
+		tail = appendTail(tail, []service.Event{{Seq: int64(i)}})
+	}
+	if len(tail) != maxEventTail {
+		t.Fatalf("tail length %d; want %d", len(tail), maxEventTail)
+	}
+	if tail[len(tail)-1].Seq != 19 || tail[0].Seq != int64(20-maxEventTail) {
+		t.Errorf("tail = %+v; want the newest %d events", tail, maxEventTail)
+	}
+}

@@ -59,6 +59,7 @@ func main() {
 	app.SamplesFlag()
 	app.JSONFlag()
 	app.TraceFlag()
+	app.ProfileFlag()
 	app.StoreFlag()
 	app.GridFlag("8x8")
 	app.ShardsFlag(4)

@@ -37,6 +37,7 @@ type App struct {
 	Pos      string
 	Strategy string
 	Trace    string
+	Profile  bool
 	StoreDir string
 	Grid     string
 	Shards   int
@@ -200,13 +201,22 @@ func (a *App) TraceFlag() {
 	flag.StringVar(&a.Trace, "trace", "", "write a Chrome trace-event JSON profile of the run to this file")
 }
 
-// StartTrace arms tracing when -trace was given: it returns a context
-// carrying a fresh tracer plus a finish function that ends the root
-// span and writes the trace file. Without -trace both are pass-through
-// (the finish function is still safe to call). Call finish before
-// printing results so a Fatal exit cannot drop the profile.
+// ProfileFlag registers -profile, which traces the run like -trace
+// but renders the self-time and critical-path report to stderr on
+// exit instead of (or in addition to) writing a trace file.
+func (a *App) ProfileFlag() {
+	flag.BoolVar(&a.Profile, "profile", false, "print a self-time and critical-path profile of the run to stderr")
+}
+
+// StartTrace arms tracing when -trace or -profile was given: it
+// returns a context carrying a fresh tracer plus a finish function
+// that ends the root span and emits whatever was requested — the
+// Chrome trace-event file for -trace, the stderr profile report for
+// -profile. Without either flag both are pass-through (the finish
+// function is still safe to call). Call finish before printing
+// results so a Fatal exit cannot drop the profile.
 func (a *App) StartTrace(ctx context.Context) (context.Context, func() error) {
-	if a.Trace == "" {
+	if a.Trace == "" && !a.Profile {
 		return ctx, func() error { return nil }
 	}
 	tr := obs.NewTracer(a.Name+"-cli", a.Name)
@@ -214,11 +224,20 @@ func (a *App) StartTrace(ctx context.Context) (context.Context, func() error) {
 	ctx, root := obs.Start(ctx, a.Name)
 	return ctx, func() error {
 		root.End()
+		t := tr.Finish()
+		if a.Profile {
+			if err := obs.Profile(t).WriteText(os.Stderr); err != nil {
+				return fmt.Errorf("%s: writing profile: %w", a.Name, err)
+			}
+		}
+		if a.Trace == "" {
+			return nil
+		}
 		f, err := os.Create(a.Trace)
 		if err != nil {
 			return fmt.Errorf("%s: writing trace: %w", a.Name, err)
 		}
-		if err := tr.Finish().WriteChrome(f); err != nil {
+		if err := t.WriteChrome(f); err != nil {
 			f.Close()
 			return fmt.Errorf("%s: writing trace: %w", a.Name, err)
 		}

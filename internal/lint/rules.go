@@ -701,17 +701,22 @@ func ctxInLoop(body *ast.BlockStmt, name string) bool {
 // goroutineRule confines goroutine creation to the sanctioned
 // scheduler packages, whose pools own panic recovery, draining and
 // cancellation. A stray `go func` elsewhere escapes all three —
-// unless the surrounding function proves structured confinement with
-// a WaitGroup: wg.Add before the go statement, a deferred wg.Done as
-// the closure's first act, and wg.Wait afterwards in the same
-// function. That pattern joins every worker before returning, which
-// is exactly what the scheduler pools guarantee, so it is allowed in
-// both the AST and typed modes (the proof is lexical).
+// unless the surrounding function proves structured confinement one
+// of two ways. The WaitGroup proof: wg.Add before the go statement, a
+// deferred wg.Done as the closure's first act, and wg.Wait afterwards
+// in the same function — that joins every worker before returning,
+// which is exactly what the scheduler pools guarantee. The
+// channel-confined proof: the launched closure assigns only to names
+// it defines itself and communicates over at least one captured
+// channel — a pure pump (broadcast dispatcher, ticker sampler,
+// result forwarder) whose lifetime is governed by the channels it
+// serves, so draining the channels joins it. Both proofs are lexical
+// and hold in the AST and typed modes alike.
 type goroutineRule struct{}
 
 func (goroutineRule) Name() string { return "goroutine" }
 func (goroutineRule) Doc() string {
-	return "goroutines start only in the scheduler packages (internal/pipeline, mc, gsim, service) or under a full WaitGroup Add/Done/Wait join in one function"
+	return "goroutines start only in the scheduler packages (internal/pipeline, mc, gsim, service), under a full WaitGroup Add/Done/Wait join in one function, or as a channel-confined pump (no captured writes, communicates over a captured channel)"
 }
 
 func (goroutineRule) Check(f *File, report ReportFunc) {
@@ -724,8 +729,8 @@ func (goroutineRule) Check(f *File, report ReportFunc) {
 			continue
 		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if g, ok := n.(*ast.GoStmt); ok && !wgConfined(fd.Body, g) {
-				report(g.Pos(), "goroutine outside the sanctioned schedulers (%s): route concurrency through their pools or join it with a WaitGroup (Add before go, defer Done inside, Wait after)", strings.Join(schedulerDirs, ", "))
+			if g, ok := n.(*ast.GoStmt); ok && !wgConfined(fd.Body, g) && !chanConfined(g) {
+				report(g.Pos(), "goroutine outside the sanctioned schedulers (%s): route concurrency through their pools, join it with a WaitGroup (Add before go, defer Done inside, Wait after), or make it a channel-confined pump (no captured writes, communicates over a captured channel)", strings.Join(schedulerDirs, ", "))
 			}
 			return true
 		})
@@ -784,6 +789,111 @@ func wgConfined(body *ast.BlockStmt, g *ast.GoStmt) bool {
 		return !(added && waited)
 	})
 	return added && waited
+}
+
+// chanConfined reports whether the goroutine is a channel-confined
+// pump: a closure that (a) assigns only to names it defines itself —
+// parameters, := definitions (including select receive clauses and
+// range variables) and var declarations — and (b) communicates over
+// at least one channel it captured from the enclosing scope. Such a
+// goroutine's only effect on shared state flows through channels, and
+// its lifetime is governed by the channels it serves (close them and
+// it ends), so it needs neither a pool nor a WaitGroup join. Captured
+// method calls (atomics, close, callbacks) are permitted — the proof
+// forbids captured *assignments*, which is what races look like under
+// this repo's shared-capture rule.
+func chanConfined(g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	// Names the closure owns: parameters plus everything it defines.
+	local := make(map[string]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				local[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						local[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if v.Tok == token.DEFINE {
+				if id, ok := v.Key.(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+				if id, ok := v.Value.(*ast.Ident); ok {
+					local[id.Name] = true
+				}
+			}
+		case *ast.GenDecl:
+			if v.Tok == token.VAR {
+				for _, spec := range v.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							local[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	confined, captured := true, false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range v.Lhs {
+				id := rootIdent(lhs)
+				if id != nil && id.Name != "_" && !local[id.Name] {
+					confined = false
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(v.X); id != nil && !local[id.Name] {
+				confined = false
+			}
+		case *ast.SendStmt:
+			if id := chanRoot(v.Chan); id != nil && !local[id.Name] {
+				captured = true
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				if id := chanRoot(v.X); id != nil && !local[id.Name] {
+					captured = true
+				}
+			}
+		}
+		return true
+	})
+	return confined && captured
+}
+
+// chanRoot is rootIdent extended through one call: `<-ctx.Done()` and
+// `<-time.After(d)` receive from a channel the call mints off its
+// receiver, so the operand roots at the receiver (ctx, time). A
+// channel obtained from a captured source is still a captured
+// channel for the confinement proof.
+func chanRoot(e ast.Expr) *ast.Ident {
+	if id := rootIdent(e); id != nil {
+		return id
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		return rootIdent(call.Fun)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------- //

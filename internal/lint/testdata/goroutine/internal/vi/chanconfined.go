@@ -1,0 +1,37 @@
+package vi
+
+// Pump is channel-confined: it assigns only to names it defines
+// (v, n, acc) and communicates over the captured in/out channels, so
+// closing in joins it — allowed outside the schedulers.
+func Pump(in <-chan int, out chan<- int) {
+	go func() {
+		n := 0
+		var acc int
+		for v := range in {
+			acc += v
+			n++
+			out <- acc
+		}
+	}()
+}
+
+// Leaky receives on a captured channel but also increments a captured
+// counter: the write escapes the channels, so the channel-confined
+// allowance must not apply.
+func Leaky(in <-chan int, total *int) {
+	go func() {
+		for range in {
+			*total++
+		}
+	}()
+}
+
+// Detached communicates over nothing captured — a fire-and-forget
+// worker with a local channel is not a pump anyone can join.
+func Detached() {
+	go func() {
+		ch := make(chan int, 1)
+		ch <- 1
+		<-ch
+	}()
+}

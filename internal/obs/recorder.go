@@ -20,12 +20,15 @@ type recorded struct {
 }
 
 // Summary is one index entry of the recorder, newest first in List.
+// Attrs carries the trace's root-span attributes (job state, error
+// class), so /debug/runs is scannable without fetching each trace.
 type Summary struct {
 	ID       string    `json:"id"`
 	Name     string    `json:"name"`
 	Spans    int       `json:"spans"`
 	DurMS    float64   `json:"dur_ms"`
 	Captured time.Time `json:"captured"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
 }
 
 // NewRecorder returns a recorder keeping the last n traces (n <= 0
@@ -67,6 +70,21 @@ func (r *Recorder) Get(id string) (*Trace, bool) {
 	return nil, false
 }
 
+// Traces returns the retained traces, newest first — the input to
+// AggregateCosts for the cross-run cost table.
+func (r *Recorder) Traces() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.entries))
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		out = append(out, r.entries[i].trace)
+	}
+	return out
+}
+
 // List returns the index of retained traces, newest first.
 func (r *Recorder) List() []Summary {
 	if r == nil {
@@ -77,13 +95,20 @@ func (r *Recorder) List() []Summary {
 	out := make([]Summary, 0, len(r.entries))
 	for i := len(r.entries) - 1; i >= 0; i-- {
 		e := r.entries[i]
-		out = append(out, Summary{
+		s := Summary{
 			ID:       e.trace.ID,
 			Name:     e.trace.Name,
 			Spans:    len(e.trace.Spans),
 			DurMS:    float64(e.trace.DurUS()) / 1000,
 			Captured: e.captured,
-		})
+		}
+		for _, sp := range e.trace.Spans {
+			if sp.Parent == 0 {
+				s.Attrs = sp.Attrs
+				break
+			}
+		}
+		out = append(out, s)
 	}
 	return out
 }

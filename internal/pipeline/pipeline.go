@@ -59,6 +59,12 @@ type Hooks struct {
 	// OnHit fires when a node's artifact came out of the store
 	// without computing.
 	OnHit func(id string)
+	// OnResolve fires once per node after its artifact is available,
+	// whichever way it arrived (cached reports a store hit), with the
+	// artifact value. It runs on the scheduler goroutine before
+	// dependents unblock — keep it cheap and never mutate v: the same
+	// value is shared with every other consumer of the store.
+	OnResolve func(id string, v any, cached bool)
 }
 
 // Graph is an immutable-after-construction artifact graph over a
@@ -304,6 +310,7 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 	nodeCtx, nodeCancel := context.WithCancel(ctx)
 	defer nodeCancel()
 	computed := false
+	var storedSize int64
 	v, err := g.store.Do(ctx, g.Key(id), func() (any, int64, error) {
 		computed = true
 		t0 := obs.Now()
@@ -318,10 +325,14 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 		if n.Size != nil {
 			size = n.Size(v)
 		}
+		storedSize = size
 		return v, size, nil
 	})
 	if computed {
 		span.SetAttr("cache", "miss")
+		// bytes annotates where the artifact was encoded/stored, so
+		// profiles can attribute store traffic per node kind.
+		span.SetAttr("bytes", storedSize)
 	} else {
 		span.SetAttr("cache", "hit")
 	}
@@ -332,6 +343,9 @@ func (g *Graph) runNode(ctx context.Context, r *run, sem chan struct{}, id strin
 	}
 	if !computed && g.hooks.OnHit != nil {
 		g.hooks.OnHit(id)
+	}
+	if g.hooks.OnResolve != nil {
+		g.hooks.OnResolve(id, v, !computed)
 	}
 	r.mu.Lock()
 	r.results[id] = v

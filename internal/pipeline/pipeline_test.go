@@ -263,6 +263,41 @@ func TestGraphComputeHookObservesMisses(t *testing.T) {
 	}
 }
 
+// TestGraphResolveHookSeesValueAndCacheState: OnResolve fires for
+// every resolved node with the artifact value, cached=false on the
+// cold pass and cached=true on the warm one.
+func TestGraphResolveHookSeesValueAndCacheState(t *testing.T) {
+	var mu sync.Mutex
+	type resolved struct {
+		v      any
+		cached bool
+	}
+	seen := map[string][]resolved{}
+	g := New("t", NewMemStore(), WithHooks(Hooks{
+		OnResolve: func(id string, v any, cached bool) {
+			mu.Lock()
+			seen[id] = append(seen[id], resolved{v, cached})
+			mu.Unlock()
+		},
+	}))
+	g.MustAdd(constNode("a"))
+	g.MustAdd(constNode("b", "a"))
+	for i := 0; i < 2; i++ {
+		if _, err := g.Request(context.Background(), "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"a", "b"} {
+		got := seen[id]
+		if len(got) != 2 || got[0].cached || !got[1].cached {
+			t.Fatalf("OnResolve(%s) = %+v; want cold then cached", id, got)
+		}
+		if got[0].v == nil || got[0].v != got[1].v {
+			t.Errorf("OnResolve(%s) values = %+v; want the same artifact both passes", id, got)
+		}
+	}
+}
+
 func TestMemStoreCancelledWaiter(t *testing.T) {
 	s := NewMemStore()
 	started := make(chan struct{})

@@ -44,6 +44,7 @@ func TestSingleNodeTraceGolden(t *testing.T) {
    "pid": 1,
    "tid": 1,
    "args": {
+    "bytes": "1024",
     "cache": "miss",
     "key": "cfg/solo",
     "parent": "0",

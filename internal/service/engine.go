@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -468,7 +469,10 @@ func (e *Engine) whatIf(ctx context.Context, cfg vipipe.Config, g *pipeline.Grap
 // so two requests with the same plan share every shard, and a request
 // differing at one position recomputes only that position's shards.
 // Hook wiring feeds /metrics (computed vs cache-hit shard counters,
-// aggregate shard latency) and the job-snapshot progress sink.
+// aggregate shard latency), the job-snapshot progress sink, and the
+// live /events stream: OnResolve sees each shard artifact with its
+// cache disposition, so every shard completion carries the position's
+// running median yield over the shards folded so far.
 func (e *Engine) fieldSweep(ctx context.Context, cfg vipipe.Config, req Request) (wire.Surface, error) {
 	plan, err := fieldPlan(req, cfg)
 	if err != nil {
@@ -477,18 +481,7 @@ func (e *Engine) fieldSweep(ctx context.Context, cfg vipipe.Config, req Request)
 	total := plan.NumShards()
 	var mu sync.Mutex
 	done := 0
-	bump := func(cached bool) {
-		if cached {
-			e.m.Inc("yield.shards_cached")
-		} else {
-			e.m.Inc("yield.shards_computed")
-		}
-		mu.Lock()
-		done++
-		d := done
-		mu.Unlock()
-		reportProgress(ctx, d, total)
-	}
+	running := make(map[string]yield.ShardStat)
 	// Shard metrics aggregate under one name — per-shard keys would
 	// grow the registry with every distinct plan.
 	metricName := func(id string) string {
@@ -504,15 +497,40 @@ func (e *Engine) fieldSweep(ctx context.Context, cfg vipipe.Config, req Request)
 	hooks := pipeline.WithHooks(pipeline.Hooks{
 		OnCompute: func(id string, dur time.Duration) {
 			e.m.ObserveStep("artifact."+metricName(id), dur)
-			if metricName(id) == "field_shard" {
-				bump(false)
-			}
 		},
 		OnHit: func(id string) {
 			e.m.Inc("artifact_hits." + metricName(id))
-			if metricName(id) == "field_shard" {
-				bump(true)
+		},
+		OnResolve: func(id string, v any, cached bool) {
+			st, ok := v.(*yield.ShardStat)
+			if !ok {
+				return // surface node or other kinds
 			}
+			if cached {
+				e.m.Inc("yield.shards_cached")
+			} else {
+				e.m.Inc("yield.shards_computed")
+			}
+			mu.Lock()
+			done++
+			d := done
+			acc, seen := running[st.Key]
+			if !seen {
+				acc = *st
+			} else if merged, err := acc.Merge(*st); err == nil {
+				acc = merged
+			}
+			running[st.Key] = acc
+			mu.Unlock()
+			reportProgress(ctx, d, total)
+			reportShard(ctx, ShardEvent{
+				Pos:    st.Pos,
+				Shard:  shardIndex(id),
+				Cached: cached,
+				Done:   d,
+				Total:  total,
+				Yield:  medianYield(acc),
+			})
 		},
 	})
 	reportProgress(ctx, 0, total)
@@ -525,6 +543,36 @@ func (e *Engine) fieldSweep(ctx context.Context, cfg vipipe.Config, req Request)
 		return wire.Surface{}, err
 	}
 	return wire.FromSurface(v.(*yield.Surface)), nil
+}
+
+// shardIndex parses the trailing shard number of a field shard node
+// ID ("field/<pos>-<key>/<n>"), -1 when there is none.
+func shardIndex(id string) int {
+	i := strings.LastIndexByte(id, '/')
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// medianYield reports the running median-period yield of a position's
+// folded shard stats: the middle point of the yield curve, from the
+// overlay-perturbed histogram when the position carries one (that is
+// the curve the surface will report).
+func medianYield(st yield.ShardStat) float64 {
+	h := st.Hist
+	if st.HasOverlay {
+		h = st.OvHist
+	}
+	ys := h.Yields()
+	if len(ys) == 0 {
+		return 0
+	}
+	return ys[len(ys)/2]
 }
 
 func parsePos(cfg vipipe.Config, name string) (variation.Pos, error) {

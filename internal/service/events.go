@@ -1,0 +1,70 @@
+package service
+
+import (
+	"time"
+
+	"vipipe/internal/obs"
+)
+
+// Event types published on the manager's live stream (GET /events).
+// Lifecycle events mirror JobState transitions; "shard" events report
+// field_sweep per-shard completion while the job is still running.
+const (
+	EventQueued    = "job.queued"
+	EventRunning   = "job.running"
+	EventDone      = "job.done"
+	EventFailed    = "job.failed"
+	EventCancelled = "job.cancelled"
+	EventShard     = "shard"
+)
+
+// Event is one entry of the live job stream. Seq is a strictly
+// increasing per-manager sequence number: subscribers detect gaps
+// (their buffer overflowed and the hub dropped events) by watching
+// for jumps.
+type Event struct {
+	Seq   int64     `json:"seq"`
+	TS    time.Time `json:"ts"`
+	Type  string    `json:"type"`
+	Job   string    `json:"job"`
+	Kind  string    `json:"kind,omitempty"`
+	State JobState  `json:"state,omitempty"`
+	// Error carries the flowerr class (not the message) of a failed
+	// job, so stream consumers can bucket failures without parsing.
+	Error string      `json:"error,omitempty"`
+	Shard *ShardEvent `json:"shard,omitempty"`
+}
+
+// ShardEvent is the payload of one field_sweep shard completion:
+// which grid position and shard index resolved, whether it came from
+// cache or was computed, the sweep's running done/total counts, and
+// the position's running median yield over the shards folded so far.
+type ShardEvent struct {
+	Pos    string  `json:"pos"`
+	Shard  int     `json:"shard"`
+	Cached bool    `json:"cached"`
+	Done   int     `json:"done"`
+	Total  int     `json:"total"`
+	Yield  float64 `json:"yield"`
+}
+
+// Events exposes the manager's broadcast hub so frontends can
+// subscribe (the SSE handler) and tests can assert stream contents.
+func (m *Manager) Events() *obs.Hub[Event] { return m.hub }
+
+// publish stamps sequence and timestamp and hands the event to the
+// hub. The lock orders concurrent publishers so Seq matches delivery
+// order; Publish itself only blocks on the dispatcher hand-off (it
+// never waits for subscribers), so the critical section is bounded
+// no matter how stuck a stream consumer is.
+func (m *Manager) publish(ev Event) {
+	if m == nil || m.hub == nil {
+		return
+	}
+	m.pubMu.Lock()
+	m.seq++
+	ev.Seq = m.seq
+	ev.TS = obs.Now()
+	m.hub.Publish(ev)
+	m.pubMu.Unlock()
+}

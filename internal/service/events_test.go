@@ -1,0 +1,295 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"vipipe/internal/obs"
+)
+
+// sseClient reads an /events stream on a background goroutine,
+// delivering decoded Events on C until the stream ends.
+type sseClient struct {
+	C      <-chan Event
+	cancel context.CancelFunc
+}
+
+func openSSE(t *testing.T, base string) *sseClient {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events", nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("GET /events = %d; want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content type = %q; want text/event-stream", ct)
+	}
+	ch := make(chan Event, 1024)
+	go func() {
+		defer resp.Body.Close()
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+				t.Errorf("bad event payload %q: %v", line, err)
+				return
+			}
+			ch <- ev
+		}
+	}()
+	return &sseClient{C: ch, cancel: cancel}
+}
+
+// collectJob reads events until the job's terminal event (or timeout),
+// returning everything seen for that job in order.
+func collectJob(t *testing.T, c *sseClient, jobID string) []Event {
+	t.Helper()
+	var out []Event
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case ev, ok := <-c.C:
+			if !ok {
+				t.Fatalf("stream closed before job %s finished; got %d events", jobID, len(out))
+			}
+			if ev.Job != jobID {
+				continue
+			}
+			out = append(out, ev)
+			switch ev.Type {
+			case EventDone, EventFailed, EventCancelled:
+				return out
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for job %s terminal event; got %d events", jobID, len(out))
+		}
+	}
+}
+
+// TestEventStreamFieldSweepOrdering runs a cold then warm-dirty field
+// sweep with an SSE subscriber attached from before submission: the
+// stream must deliver queued, running, every one of the 18 shard
+// events (monotonic done counts, each position/shard pair exactly
+// once, a running yield on each), and only then job.done — after
+// which the surface result is fetchable. The warm pass must mark
+// every shard cached.
+func TestEventStreamFieldSweepOrdering(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 8)
+	c := openSSE(t, ts.URL)
+	defer c.cancel()
+
+	check := func(pass string, wantCached bool) {
+		snap := submit(t, ts.URL, fieldReq(), http.StatusAccepted)
+		evs := collectJob(t, c, snap.ID)
+
+		if evs[0].Type != EventQueued || evs[1].Type != EventRunning {
+			t.Fatalf("%s: stream opens %s,%s; want queued,running", pass, evs[0].Type, evs[1].Type)
+		}
+		last := evs[len(evs)-1]
+		if last.Type != EventDone {
+			t.Fatalf("%s: terminal event = %+v; want job.done", pass, last)
+		}
+		shards := evs[2 : len(evs)-1]
+		if len(shards) != 18 {
+			t.Fatalf("%s: %d shard events; want 18 (3x3 grid x 2 shards)", pass, len(shards))
+		}
+		type posShard struct {
+			pos   string
+			shard int
+		}
+		seen := map[posShard]bool{}
+		for i, ev := range shards {
+			if ev.Type != EventShard || ev.Shard == nil {
+				t.Fatalf("%s: event %d = %+v; want a shard event", pass, i, ev)
+			}
+			sh := ev.Shard
+			if sh.Total != 18 || sh.Done != i+1 {
+				t.Errorf("%s: shard event %d progress %d/%d; want %d/18", pass, i, sh.Done, sh.Total, i+1)
+			}
+			if sh.Cached != wantCached {
+				t.Errorf("%s: shard %s/%d cached=%v; want %v", pass, sh.Pos, sh.Shard, sh.Cached, wantCached)
+			}
+			if sh.Yield < 0 || sh.Yield > 1 {
+				t.Errorf("%s: shard %s/%d running yield %v out of [0,1]", pass, sh.Pos, sh.Shard, sh.Yield)
+			}
+			key := posShard{sh.Pos, sh.Shard}
+			if seen[key] {
+				t.Errorf("%s: duplicate shard event for %s/%d", pass, sh.Pos, sh.Shard)
+			}
+			seen[key] = true
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Fatalf("%s: seq not increasing: %d then %d", pass, evs[i-1].Seq, evs[i].Seq)
+			}
+		}
+		// The terminal event precedes result availability from the
+		// client's view: fetching now must succeed.
+		resp, err := http.Get(ts.URL + "/jobs/" + snap.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: result after job.done = %d; want 200", pass, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	check("cold", false)
+	check("warm", true)
+}
+
+// TestEventStreamMidJobJoin subscribes only after the job is already
+// running: the late subscriber still receives shard events and the
+// terminal event (the baseline synthesis/placement compute runs
+// before the first shard resolves, leaving a join window).
+func TestEventStreamMidJobJoin(t *testing.T) {
+	ts, _, _ := newTestServer(t, 1, 8)
+	req := fieldReq()
+	req.Config.MCSamples = 1500 // slow the shards so the join window is wide
+	snap := submit(t, ts.URL, req, http.StatusAccepted)
+	waitState(t, ts.URL, snap.ID, func(s JobSnapshot) bool { return s.State == JobRunning })
+
+	c := openSSE(t, ts.URL)
+	defer c.cancel()
+	evs := collectJob(t, c, snap.ID)
+	last := evs[len(evs)-1]
+	if last.Type != EventDone {
+		t.Fatalf("terminal event = %+v; want job.done", last)
+	}
+	var shards int
+	for _, ev := range evs {
+		if ev.Type == EventShard {
+			if ev.Shard == nil || ev.Shard.Total != 18 {
+				t.Fatalf("shard event = %+v; want total 18", ev)
+			}
+			shards++
+		}
+	}
+	if shards == 0 {
+		t.Error("mid-job subscriber saw no shard events")
+	}
+}
+
+// TestEventStreamDrainClosesSubscribers: draining the manager ends
+// every open /events stream instead of leaving handlers (and client
+// readers) hanging.
+func TestEventStreamDrainClosesSubscribers(t *testing.T) {
+	m := NewMetrics()
+	mgr := NewManager(NewEngine(NewCache(64<<20), m), m, 1, 8,
+		WithRecorder(obs.NewRecorder(8)))
+	ts := httptest.NewServer(NewServer(mgr, m))
+	defer ts.Close()
+
+	c := openSSE(t, ts.URL)
+	defer c.cancel()
+	snap := submit(t, ts.URL, Request{Kind: "drc", Config: tinySpec}, http.StatusAccepted)
+	collectJob(t, c, snap.ID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := mgr.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-c.C:
+		if ok {
+			// Drain raced a buffered event; the close must still follow.
+			for range c.C {
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream still open 10s after drain")
+	}
+}
+
+// TestEventStreamStalledReaderDrops pins the no-backpressure
+// guarantee end to end: a client that connects to /events and never
+// reads does not slow the workers — events for it are dropped and
+// counted in events.dropped, while the server keeps answering.
+func TestEventStreamStalledReaderDrops(t *testing.T) {
+	m := NewMetrics()
+	mgr := NewManager(NewEngine(NewCache(64<<20), m), m, 1, 8,
+		WithRecorder(obs.NewRecorder(8)),
+		WithEventBuffer(2))
+	ts := httptest.NewServer(NewServer(mgr, m))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, _ = mgr.Drain(ctx)
+	})
+
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close before ts.Close (defers run first): a handler blocked
+	// writing to this socket must be released or Close would wait out
+	// the 15s write deadline.
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Shrink the advertised window so the server-side write path
+		// saturates after a few KB instead of megabytes.
+		_ = tc.SetReadBuffer(256)
+	}
+	if _, err := conn.Write([]byte("GET /events HTTP/1.1\r\nHost: " + u.Host + "\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Never read from conn again: the subscriber's buffer (2) fills,
+	// then the hub drops.
+
+	dropped := func() int64 {
+		return metricsSnapshot(t, ts.URL).Counters["events.dropped"]
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for i := 0; dropped() == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no drops after %d sweeps with a stalled subscriber", i)
+		}
+		snap := submit(t, ts.URL, fieldReq(), http.StatusAccepted)
+		done := waitState(t, ts.URL, snap.ID, func(s JobSnapshot) bool { return s.State.Terminal() })
+		if done.State != JobDone {
+			t.Fatalf("sweep %d finished %s: %s", i, done.State, done.Error)
+		}
+	}
+	if got := dropped(); got == 0 {
+		t.Fatal("events.dropped stayed zero")
+	}
+	// The stalled reader never blocked the scheduler: the server still
+	// answers and a live subscriber still gets a full stream.
+	c := openSSE(t, ts.URL)
+	defer c.cancel()
+	snap := submit(t, ts.URL, Request{Kind: "drc", Config: tinySpec}, http.StatusAccepted)
+	evs := collectJob(t, c, snap.ID)
+	if evs[len(evs)-1].Type != EventDone {
+		t.Fatalf("live subscriber got %+v; want job.done", evs[len(evs)-1])
+	}
+}

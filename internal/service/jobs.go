@@ -141,6 +141,13 @@ type Manager struct {
 	queuedBy    map[string]int
 	clientQuota int
 
+	// hub broadcasts Events to /events subscribers; pubMu orders
+	// concurrent publishers so seq matches delivery order.
+	hub      *obs.Hub[Event]
+	pubMu    sync.Mutex
+	seq      int64
+	eventBuf int
+
 	wg sync.WaitGroup
 }
 
@@ -177,6 +184,18 @@ func WithClientQuota(n int) ManagerOption {
 	}
 }
 
+// WithEventBuffer sizes each /events subscriber's buffer (default
+// 256 events). A subscriber that falls further behind than its buffer
+// loses events — counted in events.dropped — rather than ever
+// backpressuring the workers.
+func WithEventBuffer(n int) ManagerOption {
+	return func(m *Manager) {
+		if n > 0 {
+			m.eventBuf = n
+		}
+	}
+}
+
 // NewManager sizes the pool. workers <= 0 defaults to 2; queueCap <= 0
 // defaults to 64.
 func NewManager(eng *Engine, m *Metrics, workers, queueCap int, opts ...ManagerOption) *Manager {
@@ -199,6 +218,7 @@ func NewManager(eng *Engine, m *Metrics, workers, queueCap int, opts ...ManagerO
 	for _, opt := range opts {
 		opt(mgr)
 	}
+	mgr.hub = obs.NewHub[Event](mgr.eventBuf, func() { m.Inc("events.dropped") })
 	for i := 0; i < workers; i++ {
 		mgr.wg.Add(1)
 		go mgr.worker()
@@ -275,6 +295,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.order = append(m.order, job.ID)
 	m.m.JobsSubmitted.Add(1)
 	m.log.Info("job submitted", "job", job.ID, "kind", req.Kind, "client", req.Client, "queue_depth", len(m.queue))
+	m.publish(Event{Type: EventQueued, Job: job.ID, Kind: req.Kind, State: JobQueued})
 	return job, nil
 }
 
@@ -334,6 +355,7 @@ func (m *Manager) Cancel(id string) (JobSnapshot, bool) {
 		close(job.done)
 		m.m.JobsCancelled.Add(1)
 		m.log.Info("job cancelled while queued", "job", job.ID, "kind", job.Req.Kind)
+		m.publish(Event{Type: EventCancelled, Job: job.ID, Kind: job.Req.Kind, State: JobCancelled, Error: "cancelled"})
 	case JobRunning:
 		job.cancel() // worker finishes the bookkeeping
 	}
@@ -363,6 +385,7 @@ func (m *Manager) worker() {
 		job.cancel = cancel
 		job.mu.Unlock()
 		m.log.Info("job started", "job", job.ID, "kind", job.Req.Kind)
+		m.publish(Event{Type: EventRunning, Job: job.ID, Kind: job.Req.Kind, State: JobRunning})
 
 		// Each job runs under its own tracer; the finished trace goes
 		// to the flight recorder for /debug/trace/{id}.
@@ -370,6 +393,10 @@ func (m *Manager) worker() {
 		ctx = obs.WithTracer(ctx, tr)
 		ctx, root := obs.Start(ctx, "job."+job.Req.Kind)
 		ctx = WithProgress(ctx, job.setProgress)
+		ctx = WithShardEvents(ctx, func(se ShardEvent) {
+			sh := se
+			m.publish(Event{Type: EventShard, Job: job.ID, Kind: job.Req.Kind, State: JobRunning, Shard: &sh})
+		})
 
 		m.m.WorkersBusy.Add(1)
 		res, err := m.eng.Run(ctx, job.Req)
@@ -396,6 +423,19 @@ func (m *Manager) worker() {
 		m.m.ObserveStep("job."+job.Req.Kind, dur)
 		close(job.done)
 		job.mu.Unlock()
+
+		ev := Event{Job: job.ID, Kind: job.Req.Kind, State: state}
+		switch state {
+		case JobDone:
+			ev.Type = EventDone
+		case JobCancelled:
+			ev.Type = EventCancelled
+			ev.Error = flowerr.Class(err)
+		default:
+			ev.Type = EventFailed
+			ev.Error = flowerr.Class(err)
+		}
+		m.publish(ev)
 
 		root.SetAttr("state", state)
 		if err != nil {
@@ -465,6 +505,9 @@ func (m *Manager) Drain(ctx context.Context) (DrainStats, error) {
 	}()
 	select {
 	case <-idle:
+		// Close the event stream only after the last worker published
+		// its terminal event, so drained subscribers see every job end.
+		m.hub.Close()
 		return stats(), nil
 	case <-ctx.Done():
 		// Cancel everything still open — including jobs that are only
@@ -481,6 +524,7 @@ func (m *Manager) Drain(ctx context.Context) (DrainStats, error) {
 			m.Cancel(id)
 		}
 		<-idle
+		m.hub.Close()
 		return stats(), flowerr.Cancelledf("service: drain deadline expired, in-flight jobs cancelled: %w", ctx.Err())
 	}
 }

@@ -133,8 +133,10 @@ type HistogramSnapshot struct {
 	Buckets map[string]int64 `json:"buckets"`
 }
 
-// Snapshot renders the histogram. Percentiles are bucket upper-bound
-// estimates (the resolution of the fixed buckets).
+// Snapshot renders the histogram. Percentiles interpolate linearly
+// within the resolved bucket (samples spread uniformly between its
+// bounds); a percentile landing in the overflow bucket reports the
+// observed max, the only bound that bucket has.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	counts := make([]int64, len(h.buckets))
 	var total int64
@@ -151,16 +153,21 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.MeanMS = float64(h.sumUS.Load()) / 1000 / float64(total)
 	}
 	pct := func(q float64) float64 {
-		want := int64(q * float64(total))
+		want := q * float64(total)
 		var cum int64
 		for i, c := range counts {
-			cum += c
-			if cum > want {
-				if i < len(histBoundsMS) {
-					return histBoundsMS[i]
+			if c > 0 && float64(cum+c) > want {
+				if i >= len(histBoundsMS) {
+					return s.MaxMS
 				}
-				return s.MaxMS
+				lo := 0.0
+				if i > 0 {
+					lo = histBoundsMS[i-1]
+				}
+				frac := (want - float64(cum)) / float64(c)
+				return lo + frac*(histBoundsMS[i]-lo)
 			}
+			cum += c
 		}
 		return s.MaxMS
 	}

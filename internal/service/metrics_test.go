@@ -26,8 +26,8 @@ func TestHistogramObserve(t *testing.T) {
 	if s.MaxMS != 120000 {
 		t.Errorf("max = %vms; want 120000", s.MaxMS)
 	}
-	if s.P50MS != 1000 {
-		t.Errorf("p50 = %vms; want 1000 (bucket bound holding the upper median, 600ms)", s.P50MS)
+	if s.P50MS != 500 {
+		t.Errorf("p50 = %vms; want 500 (rank 2 lands at the start of the 500..1000 bucket)", s.P50MS)
 	}
 	if s.P95MS != s.MaxMS {
 		t.Errorf("p95 = %vms; want max for overflow-bucket tail", s.P95MS)
@@ -88,9 +88,40 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileInterpolation pins interpolated percentiles
+// against exact quantiles on a synthetic uniform spread: 24 samples at
+// 26..49ms all land in the (25,50] bucket, where linear interpolation
+// recovers the uniform distribution's quantiles exactly. The old
+// upper-bound rule reported 50 for every one of these.
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	h := newHistogram()
+	for ms := 26; ms <= 49; ms++ {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	exact := map[string][2]float64{
+		"p50": {s.P50MS, 37.5},  // 25 + 0.50*25
+		"p90": {s.P90MS, 47.5},  // 25 + 0.90*25
+		"p95": {s.P95MS, 48.75}, // 25 + 0.95*25
+		"p99": {s.P99MS, 49.75}, // 25 + 0.99*25
+	}
+	for name, v := range exact {
+		got, want := v[0], v[1]
+		if got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("%s = %vms; want %v (exact uniform quantile)", name, got, want)
+		}
+	}
+	// A single-sample histogram interpolates from the bucket's lower
+	// bound, never above the observed max's bucket bound.
+	h2 := newHistogram()
+	h2.Observe(30 * time.Millisecond)
+	if s2 := h2.Snapshot(); s2.P50MS < 25 || s2.P50MS > 50 {
+		t.Errorf("single-sample p50 = %vms; want within its (25,50] bucket", s2.P50MS)
+	}
+}
+
 // TestHistogramPercentileOrder pins P50 <= P90 <= P95 <= P99 on a
-// spread of samples (each percentile is a bucket upper bound, so ties
-// are fine but inversions are not).
+// spread of samples (ties are fine but inversions are not).
 func TestHistogramPercentileOrder(t *testing.T) {
 	h := newHistogram()
 	for i := 1; i <= 100; i++ {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"vipipe/internal/flowerr"
 	"vipipe/internal/obs"
@@ -23,9 +24,16 @@ import (
 //	                       or the flowerr-mapped status of the failure
 //	POST /jobs/{id}/cancel request cancellation       -> 200 + JobSnapshot
 //	GET  /metrics          metrics snapshot           -> 200 + Snapshot
+//	GET  /metrics/history  rolling telemetry window   -> 200 + HistoryView
+//	                       (?window=5m; needs WithHistory)
+//	GET  /events           live job stream            -> 200, Server-Sent Events
 //	GET  /healthz          liveness                   -> 200
 //	GET  /debug/runs       flight-recorder index      -> 200 + [obs.Summary]
+//	                       (?limit=N newest)
 //	GET  /debug/trace/{id} Chrome trace-event JSON    -> 200 (Perfetto-loadable)
+//	GET  /debug/profile    cross-run cost table       -> 200 + obs.CostTable
+//	GET  /debug/profile/{id} one job's run profile    -> 200 + obs.RunProfile
+//	                       (?format=text for the tree report)
 //	GET  /debug/pprof/...  net/http/pprof             (only with WithPprof)
 //
 // Failure classes map onto statuses via flowerr.HTTPStatus: bad input
@@ -36,9 +44,10 @@ import (
 // When the durable store degrades, /metrics reports store.mode
 // "degraded" and every job snapshot carries "degraded": true.
 type Server struct {
-	mgr *Manager
-	m   *Metrics
-	mux *http.ServeMux
+	mgr  *Manager
+	m    *Metrics
+	hist *MetricsHistory
+	mux  *http.ServeMux
 }
 
 // ServerOption configures optional routes.
@@ -57,6 +66,13 @@ func WithPprof() ServerOption {
 	}
 }
 
+// WithHistory wires the rolling telemetry ring that backs
+// /metrics/history. The daemon samples into it on its own cadence;
+// without one the endpoint serves an empty window.
+func WithHistory(h *MetricsHistory) ServerOption {
+	return func(s *Server) { s.hist = h }
+}
+
 // NewServer wires the routes.
 func NewServer(mgr *Manager, m *Metrics, opts ...ServerOption) *Server {
 	s := &Server{mgr: mgr, m: m, mux: http.NewServeMux()}
@@ -66,8 +82,12 @@ func NewServer(mgr *Manager, m *Metrics, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/history", s.handleHistory)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
 	s.mux.HandleFunc("GET /debug/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/profile", s.handleProfileIndex)
+	s.mux.HandleFunc("GET /debug/profile/{id}", s.handleProfile)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -194,15 +214,121 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Snapshot(s.mgr.eng.Cache(), s.mgr))
 }
 
+// handleHistory serves the rolling telemetry window. ?window=5m
+// bounds how far back (any time.ParseDuration form; absent or zero
+// means everything retained).
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	var window time.Duration
+	if ws := r.URL.Query().Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, flowerr.BadInputf("service: bad window %q: %v", ws, err))
+			return
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, s.hist.View(window))
+}
+
+// handleEvents streams the manager's live job events as Server-Sent
+// Events: one "event: <type>" + "data: <Event JSON>" block per event.
+// A subscriber that stops reading loses events (counted in
+// events.dropped) instead of backpressuring the workers, and a write
+// stuck longer than 15s tears the stream down. The stream ends when
+// the client disconnects or the manager drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, flowerr.BadInputf("service: response writer cannot stream"))
+		return
+	}
+	ch, cancel := s.mgr.Events().Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	rc := http.NewResponseController(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			_ = rc.SetWriteDeadline(obs.Now().Add(15 * time.Second))
+			if _, err := w.Write([]byte("event: " + ev.Type + "\n")); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if err := json.NewEncoder(w).Encode(ev); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
 // handleRuns serves the flight-recorder index: one summary per
 // retained job trace, newest first. An empty list (also when no
-// recorder is wired) is a valid answer, not an error.
+// recorder is wired) is a valid answer, not an error. ?limit=N keeps
+// only the N newest.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	list := s.mgr.Recorder().List()
 	if list == nil {
 		list = []obs.Summary{}
 	}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, flowerr.BadInputf("service: bad limit %q", ls))
+			return
+		}
+		if n < len(list) {
+			list = list[:n]
+		}
+	}
 	writeJSON(w, http.StatusOK, list)
+}
+
+// handleProfileIndex serves the cross-run cost table: every retained
+// trace profiled and folded into one per-node-kind account, answering
+// "where do the microseconds go across the recent workload".
+func (s *Server) handleProfileIndex(w http.ResponseWriter, r *http.Request) {
+	ct := obs.AggregateCosts(s.mgr.Recorder().Traces())
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = ct.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, ct)
+}
+
+// handleProfile serves one retained job's run profile — self-times,
+// critical path, per-kind cost table. ?format=text renders the
+// human-readable tree report instead of JSON.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.mgr.Recorder().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, flowerr.BadInputf("service: no recorded trace for job %q (recorder keeps recent jobs only)", id))
+		return
+	}
+	p := obs.Profile(t)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = p.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
 }
 
 // handleTrace serves one retained trace as Chrome trace-event JSON —
